@@ -1,0 +1,118 @@
+//! Configuration of the adaptive optimization system.
+
+use aoci_core::{AdaptiveConfig, MatchMode, PolicyKind};
+use aoci_opt::OptConfig;
+use aoci_profile::DcgConfig;
+use aoci_vm::{CostModel, VmConfig};
+
+/// Which profile-data representation backs the dynamic call graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProfileBackend {
+    /// The paper's flat trace table ([`aoci_profile::Dcg`]).
+    #[default]
+    FlatTraces,
+    /// The calling-context tree of Ammons et al.
+    /// ([`aoci_profile::CallingContextTree`]) — the "more sophisticated
+    /// representation" the paper's Section 6 contemplates.
+    ContextTree,
+}
+
+/// Tunables of the whole adaptive system; [`AosConfig::new`] supplies
+/// defaults matching the paper's setup where it states them (1.5% hot
+/// threshold, decay toward recent samples) and plausible Jikes-era values
+/// elsewhere.
+#[derive(Clone, Debug)]
+pub struct AosConfig {
+    /// The context-sensitivity policy (paper Section 4).
+    pub policy: PolicyKind,
+    /// Hot-trace threshold as a fraction of total DCG weight (paper: 1.5%).
+    pub hot_edge_threshold: f64,
+    /// Method-listener samples a method must accumulate before the
+    /// controller selects it for optimizing recompilation.
+    pub hot_method_samples: u32,
+    /// Additionally, a method must hold at least this fraction of all
+    /// method samples so far — the stand-in for the Jikes controller's
+    /// analytic cost/benefit model, which only recompiles methods expected
+    /// to account for a significant share of future execution.
+    pub hot_method_fraction: f64,
+    /// Organizer wake-up period, in samples (listener buffers are drained
+    /// and rules regenerated every this many samples).
+    pub organizer_period_samples: u64,
+    /// Decay-organizer period, in samples.
+    pub decay_period_samples: u64,
+    /// DCG decay factor applied at each decay-organizer wake-up.
+    pub decay_factor: f64,
+    /// Missing-edge-organizer period, in samples.
+    pub missing_edge_period_samples: u64,
+    /// Upper bound on optimizing recompilations of a single method
+    /// (bounds recompilation churn from the missing-edge organizer).
+    pub max_recompiles_per_method: u32,
+    /// Inliner budgets.
+    pub opt: OptConfig,
+    /// Adaptive-resolving policy tunables.
+    pub adaptive: AdaptiveConfig,
+    /// DCG collection behaviour (merge ablation, pruning).
+    pub dcg: DcgConfig,
+    /// Profile-data representation.
+    pub profile_backend: ProfileBackend,
+    /// Oracle matching mode (exact matching is an ablation).
+    pub match_mode: MatchMode,
+    /// Simulated-machine costs (sampling period lives here).
+    pub cost: CostModel,
+    /// VM behaviour (source-level stack walking, prologue window).
+    pub vm: VmConfig,
+    /// Organizer cost: cycles charged per buffered item processed.
+    pub organizer_cost_per_item: u64,
+    /// Controller cost: cycles charged per event considered.
+    pub controller_cost_per_event: u64,
+}
+
+impl AosConfig {
+    /// Default configuration for a given policy.
+    pub fn new(policy: PolicyKind) -> Self {
+        AosConfig {
+            policy,
+            hot_edge_threshold: 0.015,
+            hot_method_samples: 3,
+            hot_method_fraction: 0.01,
+            organizer_period_samples: 8,
+            decay_period_samples: 96,
+            decay_factor: 0.95,
+            missing_edge_period_samples: 24,
+            max_recompiles_per_method: 4,
+            opt: OptConfig::default(),
+            adaptive: AdaptiveConfig::default(),
+            dcg: DcgConfig::default(),
+            profile_backend: ProfileBackend::FlatTraces,
+            match_mode: MatchMode::Partial,
+            cost: CostModel::default(),
+            vm: VmConfig::default(),
+            organizer_cost_per_item: 12,
+            controller_cost_per_event: 150,
+        }
+    }
+
+    /// The paper's baseline: context-insensitive profile-directed inlining.
+    pub fn context_insensitive() -> Self {
+        Self::new(PolicyKind::ContextInsensitive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = AosConfig::new(PolicyKind::Fixed { max: 3 });
+        assert!((c.hot_edge_threshold - 0.015).abs() < 1e-12);
+        assert!(c.decay_factor > 0.0 && c.decay_factor < 1.0);
+        assert_eq!(c.policy, PolicyKind::Fixed { max: 3 });
+    }
+
+    #[test]
+    fn cins_helper() {
+        let c = AosConfig::context_insensitive();
+        assert_eq!(c.policy, PolicyKind::ContextInsensitive);
+    }
+}

@@ -1,0 +1,240 @@
+//! The AOS database: the central repository of compilation decisions and
+//! events (paper Section 3.2).
+
+use aoci_ir::{CallSiteRef, MethodId};
+use aoci_opt::{Compilation, InlineDecision, Refusal};
+use std::collections::{HashMap, HashSet};
+
+/// One optimizing compilation, as logged by the database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CompilationRecord {
+    /// The compiled method.
+    pub method: MethodId,
+    /// Abstract size of the generated code.
+    pub generated_size: u32,
+    /// Inlines performed.
+    pub inlines: u32,
+    /// Of which guarded.
+    pub guarded: u32,
+}
+
+/// Records compilation history: which methods are optimized, which call
+/// edges each compilation inlined, and which edges the compiler *refused*
+/// to inline.
+///
+/// The refusal records are its paper-described use: "to avoid recommending
+/// a method for recompilation due to a hot call edge that the optimizing
+/// compiler has already refused to inline".
+#[derive(Clone, Debug, Default)]
+pub struct AosDatabase {
+    /// Hot refusals: edges the compiler declined while they were hot.
+    refused: HashSet<(CallSiteRef, MethodId)>,
+    /// Per method: inlined callees in its current optimized version.
+    inlined: HashMap<MethodId, HashSet<(CallSiteRef, MethodId)>>,
+    /// Per method: number of optimizing compilations so far.
+    recompiles: HashMap<MethodId, u32>,
+    /// Per method: the AI-organizer generation its current version was
+    /// compiled at (used to detect rules that became hot afterwards).
+    compiled_generation: HashMap<MethodId, u64>,
+    /// All inline decisions ever made (analysis / reporting).
+    decision_log: Vec<(MethodId, InlineDecision)>,
+    /// All refusals ever recorded.
+    refusal_log: Vec<(MethodId, Refusal)>,
+    /// Every optimizing compilation, in order.
+    compilation_log: Vec<CompilationRecord>,
+    /// `(host, site, callee)` triples a compilation of `host` failed to
+    /// realise: the rule was hot and applicable, but the compiled code did
+    /// not end up inlining the callee (e.g. the intermediate chain did not
+    /// inline, or the context intersection blocked it). The missing-edge
+    /// organizer skips these to avoid recompilation churn.
+    unrealized: HashSet<(MethodId, CallSiteRef, MethodId)>,
+}
+
+impl AosDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of an optimizing compilation of `method`
+    /// performed at the given AI-organizer generation.
+    pub fn record_compilation(
+        &mut self,
+        method: MethodId,
+        compilation: &Compilation,
+        ai_generation: u64,
+    ) {
+        *self.recompiles.entry(method).or_insert(0) += 1;
+        self.compiled_generation.insert(method, ai_generation);
+        self.compilation_log.push(CompilationRecord {
+            method,
+            generated_size: compilation.generated_size,
+            inlines: compilation.decisions.len() as u32,
+            guarded: compilation.guarded_count() as u32,
+        });
+        let entry = self.inlined.entry(method).or_default();
+        entry.clear();
+        for d in &compilation.decisions {
+            let site = d.context.first().copied().expect("decision has a context");
+            entry.insert((site, d.callee));
+            self.decision_log.push((method, d.clone()));
+        }
+        for r in &compilation.refusals {
+            if r.hot {
+                self.refused.insert((r.site, r.callee));
+            }
+            self.refusal_log.push((method, *r));
+        }
+    }
+
+    /// Returns `true` if the compiler has refused `site ⇒ callee` while hot.
+    pub fn was_refused(&self, site: CallSiteRef, callee: MethodId) -> bool {
+        self.refused.contains(&(site, callee))
+    }
+
+    /// Returns `true` if `method`'s current optimized version inlines
+    /// `callee` at `site`.
+    pub fn has_inlined(&self, method: MethodId, site: CallSiteRef, callee: MethodId) -> bool {
+        self.inlined
+            .get(&method)
+            .is_some_and(|s| s.contains(&(site, callee)))
+    }
+
+    /// Returns `true` if `method`'s current optimized version inlines
+    /// `callee` at any site.
+    pub fn inlines_method(&self, method: MethodId, callee: MethodId) -> bool {
+        self.inlined
+            .get(&method)
+            .is_some_and(|s| s.iter().any(|&(_, c)| c == callee))
+    }
+
+    /// The AI-organizer generation `method` was last compiled at, if it has
+    /// been optimize-compiled.
+    pub fn compiled_generation(&self, method: MethodId) -> Option<u64> {
+        self.compiled_generation.get(&method).copied()
+    }
+
+    /// Number of optimizing compilations of `method`.
+    pub fn recompiles(&self, method: MethodId) -> u32 {
+        self.recompiles.get(&method).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if `method` has been optimize-compiled at least once.
+    pub fn is_optimized(&self, method: MethodId) -> bool {
+        self.recompiles(method) > 0
+    }
+
+    /// Methods currently holding an optimized version.
+    pub fn optimized_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.recompiles.keys().copied()
+    }
+
+    /// Full decision log, in compilation order.
+    pub fn decision_log(&self) -> &[(MethodId, InlineDecision)] {
+        &self.decision_log
+    }
+
+    /// Full refusal log, in compilation order.
+    pub fn refusal_log(&self) -> &[(MethodId, Refusal)] {
+        &self.refusal_log
+    }
+
+    /// Every optimizing compilation performed, in order.
+    pub fn compilation_log(&self) -> &[CompilationRecord] {
+        &self.compilation_log
+    }
+
+    /// Marks that compiling `host` did not realise inlining `callee` at
+    /// `site` even though a hot rule suggested it.
+    pub fn mark_unrealized(&mut self, host: MethodId, site: CallSiteRef, callee: MethodId) {
+        self.unrealized.insert((host, site, callee));
+    }
+
+    /// Returns `true` if a previous compilation of `host` failed to realise
+    /// this inline.
+    pub fn is_unrealized(&self, host: MethodId, site: CallSiteRef, callee: MethodId) -> bool {
+        self.unrealized.contains(&(host, site, callee))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_opt::RefusalReason;
+    use aoci_ir::SiteIdx;
+    use aoci_vm::{InlineMap, MethodVersion, OptLevel};
+
+    fn mid(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+
+    fn cs(m: usize, s: u16) -> CallSiteRef {
+        CallSiteRef::new(mid(m), SiteIdx(s))
+    }
+
+    fn compilation(decisions: Vec<InlineDecision>, refusals: Vec<Refusal>) -> Compilation {
+        Compilation {
+            version: MethodVersion {
+                method: mid(0),
+                level: OptLevel::Optimized,
+                body: vec![],
+                num_regs: 0,
+                inline_map: InlineMap::baseline(mid(0), 0),
+                code_size: 0,
+                version_id: 0,
+            },
+            decisions,
+            refusals,
+            generated_size: 0,
+        }
+    }
+
+    #[test]
+    fn records_inlines_and_refusals() {
+        let mut db = AosDatabase::new();
+        let c = compilation(
+            vec![InlineDecision { context: vec![cs(0, 0)], callee: mid(1), guarded: false }],
+            vec![
+                Refusal { site: cs(0, 1), callee: mid(2), reason: RefusalReason::TooLarge, hot: true },
+                Refusal { site: cs(0, 2), callee: mid(3), reason: RefusalReason::NotHot, hot: false },
+            ],
+        );
+        db.record_compilation(mid(0), &c, 42);
+        assert!(db.is_optimized(mid(0)));
+        assert_eq!(db.compiled_generation(mid(0)), Some(42));
+        assert!(db.has_inlined(mid(0), cs(0, 0), mid(1)));
+        assert!(!db.has_inlined(mid(0), cs(0, 0), mid(2)));
+        // Only the hot refusal gates the missing-edge organizer.
+        assert!(db.was_refused(cs(0, 1), mid(2)));
+        assert!(!db.was_refused(cs(0, 2), mid(3)));
+        assert_eq!(db.recompiles(mid(0)), 1);
+        assert_eq!(db.decision_log().len(), 1);
+        assert_eq!(db.refusal_log().len(), 2);
+    }
+
+    #[test]
+    fn recompilation_replaces_inline_set() {
+        let mut db = AosDatabase::new();
+        db.record_compilation(
+            mid(0),
+            &compilation(
+                vec![InlineDecision { context: vec![cs(0, 0)], callee: mid(1), guarded: false }],
+                vec![],
+            ),
+            1,
+        );
+        db.record_compilation(
+            mid(0),
+            &compilation(
+                vec![InlineDecision { context: vec![cs(0, 1)], callee: mid(2), guarded: true }],
+                vec![],
+            ),
+            2,
+        );
+        assert_eq!(db.compiled_generation(mid(0)), Some(2));
+        assert_eq!(db.recompiles(mid(0)), 2);
+        // The first version's inline is no longer "current".
+        assert!(!db.has_inlined(mid(0), cs(0, 0), mid(1)));
+        assert!(db.has_inlined(mid(0), cs(0, 1), mid(2)));
+    }
+}

@@ -1,0 +1,107 @@
+//! The end-of-run report: everything the evaluation harness needs to
+//! reproduce the paper's Figures 4–6 and summary statistics.
+
+use crate::database::CompilationRecord;
+use aoci_profile::TraceStatsReport;
+use aoci_vm::{Clock, Component, ExecCounters, Value};
+
+/// Metrics of one complete AOS run.
+#[derive(Clone, Debug)]
+pub struct AosReport {
+    /// The program's return value.
+    pub result: Option<Value>,
+    /// Full per-component cycle breakdown (Figure 6 source data).
+    pub clock: Clock,
+    /// Cumulative abstract size of all optimized code generated (Figure 5
+    /// metric).
+    pub optimized_code_size: u64,
+    /// Abstract size of the currently-installed optimized versions.
+    pub current_optimized_size: u64,
+    /// Optimizing compilations performed.
+    pub opt_compilations: u32,
+    /// Baseline compilations performed (= methods dynamically compiled).
+    pub baseline_compilations: u32,
+    /// Timer samples taken.
+    pub samples: u64,
+    /// Trace samples recorded (prologue samples with a caller).
+    pub traces_recorded: u64,
+    /// Total stack frames walked by the trace listener.
+    pub frames_walked: u64,
+    /// Distinct traces in the final DCG.
+    pub dcg_entries: usize,
+    /// Inlining rules active at the end of the run.
+    pub final_rules: usize,
+    /// Section 4 trace-walk statistics.
+    pub trace_stats: TraceStatsReport,
+    /// Dynamic execution counters (guards, dispatches).
+    pub counters: ExecCounters,
+    /// Every optimizing compilation performed, in order.
+    pub compilations: Vec<CompilationRecord>,
+}
+
+impl AosReport {
+    /// Total simulated cycles — the wall-clock analogue for speedup
+    /// computations (includes application, compilation and AOS overhead, as
+    /// wall-clock time does).
+    pub fn total_cycles(&self) -> u64 {
+        self.clock.total()
+    }
+
+    /// Cycles spent in the optimizing compilation thread.
+    pub fn compile_cycles(&self) -> u64 {
+        self.clock.component(Component::CompilationThread)
+    }
+
+    /// Fraction of execution spent in a component (a Figure 6 bar segment).
+    pub fn fraction(&self, c: Component) -> f64 {
+        self.clock.fraction(c)
+    }
+
+    /// Total AOS overhead cycles (all non-application components except
+    /// baseline compilation).
+    pub fn aos_overhead(&self) -> u64 {
+        self.clock.aos_overhead()
+    }
+
+    /// Guard-miss rate (misses / checks), 0 when no guards executed.
+    pub fn guard_miss_rate(&self) -> f64 {
+        if self.counters.guard_checks == 0 {
+            0.0
+        } else {
+            self.counters.guard_misses as f64 / self.counters.guard_checks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut clock = Clock::new();
+        clock.charge(Component::AppOptimized, 900);
+        clock.charge(Component::CompilationThread, 100);
+        let r = AosReport {
+            result: None,
+            clock,
+            optimized_code_size: 10,
+            current_optimized_size: 10,
+            opt_compilations: 1,
+            baseline_compilations: 2,
+            samples: 5,
+            traces_recorded: 3,
+            frames_walked: 9,
+            dcg_entries: 3,
+            final_rules: 1,
+            trace_stats: aoci_profile::TraceStatsCollector::new().report(),
+            counters: ExecCounters { calls: 10, virtual_dispatches: 4, guard_checks: 8, guard_misses: 2 },
+            compilations: Vec::new(),
+        };
+        assert_eq!(r.total_cycles(), 1000);
+        assert_eq!(r.compile_cycles(), 100);
+        assert!((r.fraction(Component::CompilationThread) - 0.1).abs() < 1e-12);
+        assert!((r.guard_miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(r.aos_overhead(), 100);
+    }
+}

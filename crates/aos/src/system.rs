@@ -1,0 +1,423 @@
+//! The AOS driver: the online feedback loop of paper Figure 3.
+
+use crate::config::AosConfig;
+use crate::database::AosDatabase;
+use crate::report::AosReport;
+use aoci_core::{InlineOracle, PolicyEngine, RuleSet};
+use aoci_ir::{CallSiteRef, MethodId, Program};
+use aoci_profile::{CallingContextTree, Dcg, MethodListener, ProfileStore, TraceListener, TraceStatsCollector};
+use aoci_vm::{Component, RunOutcome, StackSnapshot, Vm, VmError};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// The complete adaptive optimization system: VM, listeners, organizers,
+/// controller, compilation thread and the AOS database, on one simulated
+/// clock.
+#[derive(Debug)]
+pub struct AosSystem<'p> {
+    program: &'p Program,
+    config: AosConfig,
+    vm: Vm<'p>,
+    policy: PolicyEngine,
+    method_listener: MethodListener,
+    trace_listener: TraceListener,
+    profile: Box<dyn ProfileStore>,
+    rules: Arc<RuleSet>,
+    db: AosDatabase,
+    method_samples: HashMap<MethodId, u32>,
+    total_method_samples: u64,
+    /// AI-organizer run counter; the generation at which each trace first
+    /// became a hot rule gates the missing-edge organizer ("the edge became
+    /// hot after the method was last compiled", paper Section 3.2).
+    ai_generation: u64,
+    first_hot: HashMap<aoci_profile::TraceKey, u64>,
+    compile_queue: VecDeque<MethodId>,
+    queued: HashSet<MethodId>,
+    sample_count: u64,
+    stats: TraceStatsCollector,
+    /// Set once the program returns from its entry point.
+    finished: Option<Option<aoci_vm::Value>>,
+}
+
+impl<'p> AosSystem<'p> {
+    /// Creates a system ready to run `program` under `config`.
+    pub fn new(program: &'p Program, config: AosConfig) -> Self {
+        let vm = Vm::with_config(program, config.cost.clone(), config.vm.clone());
+        let mut policy = PolicyEngine::with_adaptive_config(config.policy, config.adaptive);
+        if matches!(config.policy, aoci_core::PolicyKind::IdealApprox { .. }) {
+            policy.set_dependence(aoci_core::DependenceAnalysis::analyze(program));
+        }
+        let profile: Box<dyn ProfileStore> = match config.profile_backend {
+            crate::config::ProfileBackend::FlatTraces => Box::new(Dcg::new(config.dcg)),
+            crate::config::ProfileBackend::ContextTree => {
+                Box::new(CallingContextTree::new(config.dcg.prune_epsilon))
+            }
+        };
+        AosSystem {
+            program,
+            vm,
+            policy,
+            method_listener: MethodListener::new(),
+            trace_listener: TraceListener::new(),
+            profile,
+            rules: Arc::new(RuleSet::new()),
+            db: AosDatabase::new(),
+            method_samples: HashMap::new(),
+            total_method_samples: 0,
+            ai_generation: 0,
+            first_hot: HashMap::new(),
+            compile_queue: VecDeque::new(),
+            queued: HashSet::new(),
+            sample_count: 0,
+            stats: TraceStatsCollector::new(),
+            finished: None,
+            config,
+        }
+    }
+
+    /// Seeds the profile store with offline-gathered trace data (e.g. a
+    /// [`aoci_profile::SavedProfile`] from a training run), emulating the
+    /// classic offline profile-directed pipeline the paper's related work
+    /// describes. Rules form at the first AI-organizer tick, so hot methods
+    /// compile with good inlining decisions immediately instead of after a
+    /// warm-up.
+    pub fn seed_profile(&mut self, entries: impl IntoIterator<Item = (aoci_profile::TraceKey, f64)>) {
+        for (k, w) in entries {
+            self.profile.record(k, w);
+        }
+    }
+
+    /// Runs the program to completion under adaptive optimization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] the program raises (a fault in optimized
+    /// code would indicate a compiler bug — the test suite leans on this).
+    pub fn run(self) -> Result<AosReport, VmError> {
+        self.run_detailed().map(|(report, _)| report)
+    }
+
+    /// Like [`AosSystem::run`], but also returns the final [`AosDatabase`]
+    /// so callers can inspect the full inline-decision and refusal logs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] the program raises.
+    pub fn run_detailed(self) -> Result<(AosReport, AosDatabase), VmError> {
+        self.run_full().map(|(r, db, _)| (r, db))
+    }
+
+    /// Like [`AosSystem::run_detailed`], but additionally returns the final
+    /// trace profile — suitable for saving as an offline profile (see
+    /// [`aoci_profile::SavedProfile`] and the `offline_profile` example).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] the program raises.
+    pub fn run_full(
+        mut self,
+    ) -> Result<(AosReport, AosDatabase, Vec<(aoci_profile::TraceKey, f64)>), VmError> {
+        while self.step()? {}
+        let result = self.finished.expect("loop ran to completion");
+        let db = self.db.clone();
+        let profile = self.profile.entries();
+        Ok((self.into_report(result), db, profile))
+    }
+
+    /// Advances execution to the next timer sample (processing it through
+    /// the listeners/organizers/compilation pipeline) or to program
+    /// completion. Returns `false` once the program has finished; the
+    /// introspection accessors ([`AosSystem::profile`],
+    /// [`AosSystem::rules`], [`AosSystem::database`],
+    /// [`AosSystem::policy`]) remain usable between steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] the program raises.
+    pub fn step(&mut self) -> Result<bool, VmError> {
+        if self.finished.is_some() {
+            return Ok(false);
+        }
+        match self.vm.run(u64::MAX)? {
+            RunOutcome::Finished(result) => {
+                self.finished = Some(result);
+                Ok(false)
+            }
+            RunOutcome::Sample(snapshot) => {
+                self.on_sample(&snapshot);
+                Ok(true)
+            }
+            RunOutcome::BudgetExhausted => unreachable!("unbounded budget"),
+        }
+    }
+
+    /// One timer tick: listeners record, organizers run on their cadences,
+    /// the controller plans, the compilation thread compiles and installs.
+    fn on_sample(&mut self, snapshot: &StackSnapshot) {
+        self.sample_count += 1;
+
+        // --- Listeners -------------------------------------------------
+        self.method_listener.on_sample(snapshot);
+        let site = immediate_site(snapshot);
+        let max = self.policy.max_context_for(site);
+        let walked = {
+            let policy = &self.policy;
+            let program = self.program;
+            self.trace_listener
+                .on_sample(snapshot, max, |m| policy.keep_extending(program, m))
+        };
+        let listener_cycles = self.config.cost.sample_cost(walked + 1);
+        self.vm.clock_mut().charge(Component::Listeners, listener_cycles);
+        if snapshot.top_in_prologue {
+            self.stats.observe(snapshot, self.program);
+        }
+
+        // --- Organizers (periodic) --------------------------------------
+        if self.sample_count % self.config.organizer_period_samples == 0 {
+            self.hot_methods_organizer();
+            self.dcg_and_ai_organizer();
+        }
+        if self.sample_count % self.config.decay_period_samples == 0 {
+            self.decay_organizer();
+        }
+        if self.sample_count % self.config.missing_edge_period_samples == 0 {
+            self.missing_edge_organizer();
+        }
+
+        // --- Compilation thread -----------------------------------------
+        self.process_compile_queue();
+    }
+
+    /// Aggregates method samples; methods crossing the hotness threshold
+    /// are handed to the controller for (first) optimizing compilation.
+    fn hot_methods_organizer(&mut self) {
+        let drained = self.method_listener.drain();
+        self.charge(
+            Component::MethodSampleOrganizer,
+            self.config.organizer_cost_per_item * drained.len() as u64,
+        );
+        for m in drained {
+            *self.method_samples.entry(m).or_insert(0) += 1;
+            self.total_method_samples += 1;
+        }
+        let min_share =
+            (self.config.hot_method_fraction * self.total_method_samples as f64) as u32;
+        let hot: Vec<MethodId> = self
+            .method_samples
+            .iter()
+            .filter(|&(&m, &count)| {
+                count >= self.config.hot_method_samples.max(min_share)
+                    && !self.db.is_optimized(m)
+                    && !self.queued.contains(&m)
+            })
+            .map(|(&m, _)| m)
+            .collect();
+        for m in hot {
+            self.controller_enqueue(m);
+        }
+    }
+
+    /// Folds trace buffers into the DCG and regenerates inlining rules from
+    /// traces above the hot threshold; feeds the adaptive-resolving policy.
+    fn dcg_and_ai_organizer(&mut self) {
+        let traces = self.trace_listener.drain();
+        self.charge(
+            Component::AiOrganizer,
+            self.config.organizer_cost_per_item * (traces.len() + self.profile.len()) as u64,
+        );
+        for t in traces {
+            self.profile.record(t, 1.0);
+        }
+        self.ai_generation += 1;
+        self.rules =
+            Arc::new(RuleSet::from_hot_traces(self.profile.hot(self.config.hot_edge_threshold)));
+        for rule in self.rules.iter() {
+            self.first_hot
+                .entry(rule.trace.clone())
+                .or_insert(self.ai_generation);
+        }
+        self.policy.adaptive_feedback(self.profile.as_ref());
+    }
+
+    /// Ages the DCG toward recent behaviour (phase-shift adaptation).
+    fn decay_organizer(&mut self) {
+        self.charge(
+            Component::DecayOrganizer,
+            self.config.organizer_cost_per_item * self.profile.len() as u64,
+        );
+        self.profile.decay(self.config.decay_factor);
+    }
+
+    /// Returns `true` if `method` currently satisfies the hot-method
+    /// criterion (same test the hot-methods organizer applies).
+    fn is_hot_method(&self, method: MethodId) -> bool {
+        let min_share =
+            (self.config.hot_method_fraction * self.total_method_samples as f64) as u32;
+        self.method_samples
+            .get(&method)
+            .is_some_and(|&c| c >= self.config.hot_method_samples.max(min_share))
+    }
+
+    /// Requests recompilation of *hot* optimized methods for which new hot,
+    /// uninlined, unrefused rules have appeared since their last
+    /// compilation (paper: "examines the current set of hot optimized
+    /// methods and inlining rules").
+    fn missing_edge_organizer(&mut self) {
+        self.charge(
+            Component::MissingEdgeOrganizer,
+            self.config.organizer_cost_per_item * self.rules.len() as u64,
+        );
+        let mut to_queue: Vec<MethodId> = Vec::new();
+        for rule in self.rules.iter() {
+            let site = rule.trace.immediate_caller();
+            let callee = rule.trace.callee();
+            let became_hot_at = self
+                .first_hot
+                .get(&rule.trace)
+                .copied()
+                .unwrap_or(self.ai_generation);
+            // A rule can be realised by compiling its immediate caller, or
+            // by a deeper compilation rooted at the outermost context
+            // method; check both hosts. A host is reconsidered only when
+            // the rule became hot *after* its last compilation (the paper's
+            // condition) and the oracle's partial-match intersection would
+            // actually yield the callee in the context that compilation
+            // presents.
+            let outer = rule
+                .trace
+                .context()
+                .last()
+                .expect("traces have context")
+                .method;
+            for (host, ctx) in [
+                (site.method, &rule.trace.context()[..1]),
+                (outer, rule.trace.context()),
+            ] {
+                // The outer host is only worth recompiling once its code
+                // already contains the rule's immediate caller; until then
+                // the caller's own edge rule is the effective trigger.
+                let chain_present =
+                    host == site.method || self.db.inlines_method(host, site.method);
+                if chain_present
+                    && self.db.is_optimized(host)
+                    && self.is_hot_method(host)
+                    && self.db.compiled_generation(host) < Some(became_hot_at)
+                    && !self.db.has_inlined(host, site, callee)
+                    && !self.db.was_refused(site, callee)
+                    && !self.db.is_unrealized(host, site, callee)
+                    && self.db.recompiles(host) < self.config.max_recompiles_per_method
+                    && !self.queued.contains(&host)
+                    && !to_queue.contains(&host)
+                    && self.rules.candidates(ctx).iter().any(|&(c, _)| c == callee)
+                {
+                    to_queue.push(host);
+                }
+            }
+        }
+        for m in to_queue {
+            self.controller_enqueue(m);
+        }
+    }
+
+    /// The controller: accepts an organizer event and creates a compilation
+    /// plan (the oracle snapshot is taken when the plan executes).
+    fn controller_enqueue(&mut self, method: MethodId) {
+        self.charge(Component::ControllerThread, self.config.controller_cost_per_event);
+        if self.queued.insert(method) {
+            self.compile_queue.push_back(method);
+        }
+    }
+
+    /// The compilation thread: executes queued plans, charging compile
+    /// cycles and installing the resulting code (effective at each method's
+    /// next invocation).
+    fn process_compile_queue(&mut self) {
+        while let Some(method) = self.compile_queue.pop_front() {
+            self.queued.remove(&method);
+            let oracle =
+                InlineOracle::with_mode(Arc::clone(&self.rules), self.config.match_mode);
+            let compilation =
+                aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
+            self.charge(
+                Component::CompilationThread,
+                self.config.cost.opt_compile_cost(compilation.generated_size),
+            );
+            self.db
+                .record_compilation(method, &compilation, self.ai_generation);
+            self.vm.registry_mut().install(compilation.version);
+            // Any rule this compilation was expected to realise but did not
+            // is marked unrealized: re-requesting the same compilation under
+            // the same rules cannot succeed.
+            let mut unrealized: Vec<(CallSiteRef, MethodId)> = Vec::new();
+            for rule in self.rules.iter() {
+                let site = rule.trace.immediate_caller();
+                let callee = rule.trace.callee();
+                let outer = rule.trace.context().last().expect("non-empty").method;
+                if (site.method == method || outer == method)
+                    && !self.db.has_inlined(method, site, callee)
+                {
+                    unrealized.push((site, callee));
+                }
+            }
+            for (site, callee) in unrealized {
+                self.db.mark_unrealized(method, site, callee);
+            }
+        }
+    }
+
+    fn charge(&mut self, component: Component, cycles: u64) {
+        self.vm.clock_mut().charge(component, cycles);
+    }
+
+    fn into_report(self, result: Option<aoci_vm::Value>) -> AosReport {
+        AosReport {
+            result,
+            clock: self.vm.clock().clone(),
+            optimized_code_size: self.vm.registry().cumulative_optimized_size(),
+            current_optimized_size: self.vm.registry().current_optimized_size(),
+            opt_compilations: self.vm.registry().opt_compilations(),
+            baseline_compilations: self.vm.registry().baseline_compilations(),
+            samples: self.sample_count,
+            traces_recorded: self.trace_listener.samples_recorded(),
+            frames_walked: self.trace_listener.frames_walked(),
+            dcg_entries: self.profile.len(),
+            final_rules: self.rules.len(),
+            trace_stats: self.stats.report(),
+            counters: self.vm.counters(),
+            compilations: self.db.compilation_log().to_vec(),
+        }
+    }
+
+    // ---- Introspection (tests, examples) -------------------------------
+
+    /// The profile store (dynamic call graph) in its current state.
+    pub fn profile(&self) -> &dyn ProfileStore {
+        self.profile.as_ref()
+    }
+
+    /// The current inlining rules.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The AOS database.
+    pub fn database(&self) -> &AosDatabase {
+        &self.db
+    }
+
+    /// The policy engine (including adaptive per-site state).
+    pub fn policy(&self) -> &PolicyEngine {
+        &self.policy
+    }
+}
+
+/// The call site through which the sampled frame was entered, if the
+/// snapshot exposes a caller: the key the adaptive-resolving policy uses to
+/// pick a per-site collection depth.
+fn immediate_site(snapshot: &StackSnapshot) -> Option<CallSiteRef> {
+    let caller = snapshot.frames.get(1)?;
+    Some(CallSiteRef::new(caller.method, caller.callsite_to_inner?))
+}
+
+#[cfg(test)]
+mod tests;

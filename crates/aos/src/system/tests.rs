@@ -1,0 +1,244 @@
+use super::*;
+use crate::AosConfig;
+use aoci_core::PolicyKind;
+use aoci_ir::{BinOp, Cond, ProgramBuilder};
+use aoci_vm::{CostModel, Value};
+
+/// A program with a hot loop: `main` iterates `n` times calling
+/// `compute(i)`, a medium-sized method that virtually calls `val` on a
+/// receiver chosen by the iteration's parity. With `poly = false` only one
+/// receiver class exists (monomorphic site); with `poly = true` the site
+/// alternates A/B 50/50 — but each *call site of main* is monomorphic, so
+/// context distinguishes them.
+fn hot_loop_program(n: i64, poly: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    let sel = b.selector("val", 0);
+    let a = b.class("A", None);
+    let cb = b.class("B", Some(a));
+    {
+        let mut m = b.virtual_method("A.val", a, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 1);
+        m.ret(Some(r));
+        m.finish();
+    }
+    if poly {
+        let mut m = b.virtual_method("B.val", cb, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 2);
+        m.ret(Some(r));
+        m.finish();
+    }
+    let ga = b.global("objA");
+    let gb = b.global("objB");
+    let compute = {
+        let mut m = b.static_method("compute", 1);
+        m.work(60); // medium with the call: profile-directed only
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        let two = m.fresh_reg();
+        let rem = m.fresh_reg();
+        m.const_int(two, 2);
+        m.bin(BinOp::Rem, rem, m.param(0), two);
+        let use_b = m.label();
+        let call = m.label();
+        let zero = m.fresh_reg();
+        m.const_int(zero, 0);
+        m.branch(Cond::Ne, rem, zero, use_b);
+        m.get_global(o, ga);
+        m.jump(call);
+        m.bind(use_b);
+        m.get_global(o, gb);
+        m.bind(call);
+        m.call_virtual(Some(r), sel, o, &[]);
+        m.bin(BinOp::Add, r, r, m.param(0));
+        m.ret(Some(r));
+        m.finish()
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let oa = m.fresh_reg();
+        let ob = m.fresh_reg();
+        m.new_obj(oa, a);
+        m.put_global(ga, oa);
+        m.new_obj(ob, if poly { cb } else { a });
+        m.put_global(gb, ob);
+        let i = m.fresh_reg();
+        let nn = m.fresh_reg();
+        let one = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(i, 0);
+        m.const_int(nn, n);
+        m.const_int(one, 1);
+        m.const_int(acc, 0);
+        let top = m.label();
+        let out = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, i, nn, out);
+        m.call_static(Some(r), compute, &[i]);
+        m.bin(BinOp::Add, acc, acc, r);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(top);
+        m.bind(out);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    b.finish(main).unwrap()
+}
+
+fn fast_config(policy: PolicyKind) -> AosConfig {
+    let mut c = AosConfig::new(policy);
+    c.cost = CostModel { sample_period: 3_000, ..CostModel::default() };
+    c.hot_method_samples = 2;
+    c.organizer_period_samples = 4;
+    c.missing_edge_period_samples = 8;
+    c.decay_period_samples = 64;
+    c
+}
+
+fn baseline_result(p: &Program) -> Option<Value> {
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    Vm::new(p, cost).run_to_completion().expect("baseline runs")
+}
+
+#[test]
+fn optimizes_hot_methods_and_preserves_semantics() {
+    let p = hot_loop_program(400, false);
+    let expected = baseline_result(&p);
+    let report = AosSystem::new(&p, fast_config(PolicyKind::ContextInsensitive))
+        .run()
+        .expect("aos run succeeds");
+    assert_eq!(report.result, expected);
+    assert!(report.opt_compilations >= 1, "hot method should be recompiled");
+    assert!(report.optimized_code_size > 0);
+    assert!(report.samples > 20);
+    assert!(report.final_rules > 0, "hot edges should become rules");
+}
+
+#[test]
+fn context_sensitive_run_matches_baseline_too() {
+    let p = hot_loop_program(400, true);
+    let expected = baseline_result(&p);
+    for policy in [
+        PolicyKind::Fixed { max: 3 },
+        PolicyKind::Parameterless { max: 4 },
+        PolicyKind::ParameterlessLarge { max: 4 },
+        PolicyKind::AdaptiveResolving { max: 4 },
+    ] {
+        let report = AosSystem::new(&p, fast_config(policy)).run().expect("runs");
+        assert_eq!(report.result, expected, "policy {policy:?} changed semantics");
+    }
+}
+
+#[test]
+fn fixed_policy_collects_deep_traces_cins_does_not() {
+    let p = hot_loop_program(400, true);
+
+    let mut cs_sys = AosSystem::new(&p, fast_config(PolicyKind::Fixed { max: 3 }));
+    // Drive manually so we can inspect the DCG before the run ends.
+    loop {
+        match cs_sys.vm.run(u64::MAX).expect("runs") {
+            RunOutcome::Finished(_) => break,
+            RunOutcome::Sample(s) => cs_sys.on_sample(&s),
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    assert!(
+        cs_sys.profile().entries().iter().any(|(k, _)| k.depth() >= 2),
+        "fixed(3) should record multi-edge traces"
+    );
+
+    let mut ci_sys = AosSystem::new(&p, fast_config(PolicyKind::ContextInsensitive));
+    loop {
+        match ci_sys.vm.run(u64::MAX).expect("runs") {
+            RunOutcome::Finished(_) => break,
+            RunOutcome::Sample(s) => ci_sys.on_sample(&s),
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    assert!(
+        ci_sys.profile().entries().iter().all(|(k, _)| k.depth() == 1),
+        "cins must record single edges only"
+    );
+}
+
+#[test]
+fn recompilations_stay_bounded() {
+    let p = hot_loop_program(600, true);
+    let mut config = fast_config(PolicyKind::Fixed { max: 2 });
+    config.max_recompiles_per_method = 3;
+    let mut sys = AosSystem::new(&p, config);
+    loop {
+        match sys.vm.run(u64::MAX).expect("runs") {
+            RunOutcome::Finished(_) => break,
+            RunOutcome::Sample(s) => sys.on_sample(&s),
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    for m in sys.database().optimized_methods() {
+        assert!(sys.database().recompiles(m) <= 3);
+    }
+}
+
+#[test]
+fn report_accounts_listener_and_compilation_time() {
+    let p = hot_loop_program(8_000, false);
+    let report = AosSystem::new(&p, fast_config(PolicyKind::Fixed { max: 3 }))
+        .run()
+        .expect("runs");
+    assert!(report.fraction(Component::Listeners) > 0.0);
+    assert!(report.compile_cycles() > 0);
+    assert!(report.aos_overhead() < report.total_cycles());
+    // Application time dominates.
+    let app = report.fraction(Component::AppBaseline) + report.fraction(Component::AppOptimized);
+    assert!(app > 0.5, "application should dominate, got {app}");
+}
+
+#[test]
+fn optimized_code_eliminates_dispatch_over_time() {
+    // With a monomorphic hot call, the optimized version inlines the callee
+    // (CHA): virtual dispatches per iteration drop after recompilation, so
+    // the total is well below one dispatch per iteration.
+    let n = 2_000;
+    let p = hot_loop_program(n, false);
+    let report = AosSystem::new(&p, fast_config(PolicyKind::ContextInsensitive))
+        .run()
+        .expect("runs");
+    assert!(report.opt_compilations >= 1);
+    assert!(
+        (report.counters.virtual_dispatches as i64) < n,
+        "dispatches {} should be below iterations {n}",
+        report.counters.virtual_dispatches
+    );
+}
+
+#[test]
+fn adaptive_resolving_escalates_unskewed_sites() {
+    let p = hot_loop_program(1_500, true);
+    let mut sys = AosSystem::new(&p, fast_config(PolicyKind::AdaptiveResolving { max: 4 }));
+    loop {
+        match sys.vm.run(u64::MAX).expect("runs") {
+            RunOutcome::Finished(_) => break,
+            RunOutcome::Sample(s) => sys.on_sample(&s),
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    assert!(
+        sys.policy().adaptive().flagged() > 0,
+        "the 50/50 site should have been flagged for escalation"
+    );
+}
+
+#[test]
+fn context_tree_backend_matches_flat_semantics() {
+    let p = hot_loop_program(600, true);
+    let expected = baseline_result(&p);
+    let mut config = fast_config(PolicyKind::Fixed { max: 3 });
+    config.profile_backend = crate::ProfileBackend::ContextTree;
+    let report = AosSystem::new(&p, config).run().expect("cct run succeeds");
+    assert_eq!(report.result, expected);
+    assert!(report.final_rules > 0, "the CCT backend should also form rules");
+}

@@ -1,0 +1,160 @@
+//! Criterion micro-benchmarks for the AOCI hot paths: trace recording into
+//! the DCG, hot-trace extraction, oracle partial-match queries, the
+//! source-level stack walk, and a full optimizing compilation.
+
+use aoci_core::{InlineOracle, RuleSet};
+use aoci_ir::{CallSiteRef, MethodId, SiteIdx};
+use aoci_opt::{compile, OptConfig};
+use aoci_profile::{Dcg, DcgConfig, TraceKey};
+use aoci_vm::{CostModel, RunOutcome, Vm};
+use aoci_workloads::{build, spec_by_name};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn cs(m: usize, s: u16) -> CallSiteRef {
+    CallSiteRef::new(MethodId::from_index(m), SiteIdx(s))
+}
+
+fn synthetic_traces(n: usize) -> Vec<TraceKey> {
+    (0..n)
+        .map(|i| {
+            let depth = 1 + i % 4;
+            let ctx: Vec<CallSiteRef> =
+                (0..depth).map(|d| cs((i + d * 7) % 50, (i % 3) as u16)).collect();
+            TraceKey::new(MethodId::from_index(100 + i % 20), ctx)
+        })
+        .collect()
+}
+
+fn bench_dcg(c: &mut Criterion) {
+    let traces = synthetic_traces(512);
+    c.bench_function("dcg_record_512_traces", |b| {
+        b.iter(|| {
+            let mut dcg = Dcg::new(DcgConfig::default());
+            for t in &traces {
+                dcg.record(black_box(t.clone()), 1.0);
+            }
+            black_box(dcg.total_weight())
+        })
+    });
+
+    let mut dcg = Dcg::new(DcgConfig::default());
+    for t in &traces {
+        dcg.record(t.clone(), 1.0);
+    }
+    c.bench_function("dcg_hot_extraction", |b| {
+        b.iter(|| black_box(dcg.hot(black_box(0.015))))
+    });
+    c.bench_function("dcg_decay", |b| {
+        b.iter_batched(
+            || dcg.clone(),
+            |mut d| {
+                d.decay(0.95);
+                black_box(d.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let traces = synthetic_traces(256);
+    let rules = RuleSet::from_rules(traces.iter().map(|t| (t.clone(), 5.0)), 256.0 * 5.0);
+    let oracle = InlineOracle::new(rules.into());
+    let probes: Vec<Vec<CallSiteRef>> = traces.iter().map(|t| t.context().to_vec()).collect();
+    c.bench_function("oracle_partial_match_query", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(oracle.candidates(black_box(&probes[i])))
+        })
+    });
+}
+
+fn bench_stack_walk(c: &mut Criterion) {
+    // Sample a deep stack repeatedly: build a recursive program and
+    // snapshot it at depth.
+    let mut b = aoci_ir::ProgramBuilder::new();
+    let chain: Vec<MethodId> = {
+        let mut prev: Option<MethodId> = None;
+        let mut ids = Vec::new();
+        for i in 0..24 {
+            let mut m = b.static_method(format!("f{i}"), 0);
+            if let Some(p) = prev {
+                m.call_static(None, p, &[]);
+            } else {
+                m.work(1_000_000);
+            }
+            m.ret(None);
+            prev = Some(m.finish());
+            ids.push(prev.unwrap());
+        }
+        ids
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        m.call_static(None, *chain.last().unwrap(), &[]);
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(main).unwrap();
+    let cost = CostModel { sample_period: 50_000, baseline_factor: 1, ..CostModel::default() };
+    let mut vm = Vm::new(&p, cost);
+    // Run until the first sample inside the deep leaf.
+    let _ = match vm.run(u64::MAX).unwrap() {
+        RunOutcome::Sample(s) => s,
+        _ => panic!("expected a sample"),
+    };
+    c.bench_function("source_level_stack_walk_depth25", |bch| {
+        bch.iter(|| black_box(vm.snapshot()))
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let w = build(&spec_by_name("jess").expect("suite"));
+    // Compile a mid-sized method with an aggressive oracle built from every
+    // static call edge in the program.
+    let mut rules = Vec::new();
+    for m in w.program.methods() {
+        for (site, instr) in m.call_sites() {
+            if let aoci_ir::Instr::CallStatic { callee, .. } = instr {
+                rules.push((TraceKey::edge(CallSiteRef::new(m.id(), site), *callee), 10.0));
+            }
+        }
+    }
+    let total = rules.len() as f64 * 10.0;
+    let oracle = InlineOracle::new(RuleSet::from_rules(rules, total).into());
+    let config = OptConfig::default();
+    let target = w
+        .program
+        .methods()
+        .filter(|m| m.num_sites() >= 2)
+        .max_by_key(|m| m.size_estimate())
+        .map(|m| m.id())
+        .expect("a method with call sites");
+    c.bench_function("opt_compile_with_inlining", |b| {
+        b.iter(|| black_box(compile(&w.program, target, &oracle, &config)))
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let w = build(&spec_by_name("db").expect("suite"));
+    c.bench_function("interp_db_1pct_slice", |b| {
+        b.iter(|| {
+            let cost = CostModel { sample_period: 0, ..CostModel::default() };
+            let mut vm = Vm::new(&w.program, cost);
+            // Execute a fixed slice of the program.
+            black_box(vm.run(black_box(500_000)).expect("runs"));
+            black_box(vm.clock().total())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dcg,
+    bench_oracle,
+    bench_stack_walk,
+    bench_compile,
+    bench_interpreter
+);
+criterion_main!(benches);

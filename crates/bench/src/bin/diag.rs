@@ -1,0 +1,26 @@
+use aoci_aos::{AosConfig, AosSystem};
+use aoci_core::PolicyKind;
+use aoci_workloads::{build, spec_by_name};
+use std::collections::HashMap;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
+    let w = build(&spec_by_name(&name).unwrap());
+    for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
+        let report = AosSystem::new(&w.program, AosConfig::new(policy)).run().unwrap();
+        println!("=== {policy:?}: cumulative={} current={} compiles={} total_cycles={}",
+            report.optimized_code_size, report.current_optimized_size,
+            report.opt_compilations, report.total_cycles());
+        let mut per_method: HashMap<_, Vec<_>> = HashMap::new();
+        for c in &report.compilations {
+            per_method.entry(c.method).or_default().push(c);
+        }
+        let mut rows: Vec<_> = per_method.into_iter().collect();
+        rows.sort_by_key(|(m, _)| *m);
+        for (m, cs) in rows {
+            let name = w.program.method(m).name();
+            let sizes: Vec<_> = cs.iter().map(|c| (c.generated_size, c.inlines, c.guarded)).collect();
+            println!("  {name:<10} x{}: {:?} (orig {})", cs.len(), sizes, w.program.method(m).size_estimate());
+        }
+    }
+}

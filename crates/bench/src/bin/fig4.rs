@@ -1,0 +1,72 @@
+//! Regenerates **Figure 4(a–f)** — wall-clock speedup of each context-
+//! sensitive profiling policy over context-insensitive inlining, per
+//! benchmark, for maximum sensitivity 2–5, plus the harmonic mean.
+
+use aoci_bench::{
+    fmt_pct, harmonic_mean_speedup_pct, load_or_run_grid, policy_label, render_table,
+    speedup_pct, POLICY_GROUPS,
+};
+use aoci_bench::grid::max_levels;
+use aoci_workloads::suite;
+
+fn main() {
+    let grid = load_or_run_grid();
+    let specs = suite();
+    let subfig = ["(a)", "(b)", "(c)", "(d)", "(e)", "(f)"];
+
+    println!("Figure 4: wall-clock speedup over context-insensitive inlining\n");
+    for (i, (group, make)) in POLICY_GROUPS.iter().enumerate() {
+        println!("Figure 4{} — {group}", subfig[i]);
+        let mut header = vec!["benchmark".to_string()];
+        for max in max_levels() {
+            header.push(format!("max={max}"));
+        }
+        let mut rows = Vec::new();
+        for spec in &specs {
+            let cins = grid.get(spec.name, "cins").expect("baseline present");
+            let mut row = vec![spec.name.to_string()];
+            for max in max_levels() {
+                let label = policy_label(make(max));
+                let m = grid.get(spec.name, &label).expect("policy present");
+                row.push(fmt_pct(speedup_pct(cins, m)));
+            }
+            rows.push(row);
+        }
+        // Harmonic-mean row, as in the paper's rightmost bars.
+        let mut hm_row = vec!["harMean".to_string()];
+        for max in max_levels() {
+            let label = policy_label(make(max));
+            let pairs: Vec<_> = specs
+                .iter()
+                .map(|s| {
+                    (
+                        grid.get(s.name, "cins").expect("baseline"),
+                        grid.get(s.name, &label).expect("policy"),
+                    )
+                })
+                .collect();
+            hm_row.push(fmt_pct(harmonic_mean_speedup_pct(&pairs)));
+        }
+        rows.push(hm_row);
+        println!("{}", render_table(&header, &rows));
+    }
+
+    println!("(extension) adaptive-resolving policy:");
+    let mut header = vec!["benchmark".to_string()];
+    for max in max_levels() {
+        header.push(format!("max={max}"));
+    }
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let cins = grid.get(spec.name, "cins").expect("baseline");
+        let mut row = vec![spec.name.to_string()];
+        for max in max_levels() {
+            let m = grid
+                .get(spec.name, &format!("adaptive/{max}"))
+                .expect("adaptive present");
+            row.push(fmt_pct(speedup_pct(cins, m)));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&header, &rows));
+}

@@ -1,0 +1,31 @@
+use aoci_aos::{AosConfig, AosSystem};
+use aoci_core::PolicyKind;
+use aoci_workloads::{build, suite};
+use std::time::Instant;
+
+fn main() {
+    for spec in suite() {
+        let w = build(&spec);
+        for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
+            let t = Instant::now();
+            let report = AosSystem::new(&w.program, AosConfig::new(policy))
+                .run()
+                .expect("runs");
+            println!(
+                "{:<10} {:?}: wall={:?} cycles={} cum={} cur={} compiles={} samples={} rules={} baseline_methods={} frac_compile={:.3}% frac_listen={:.3}%",
+                w.name,
+                policy,
+                t.elapsed(),
+                report.total_cycles(),
+                report.optimized_code_size,
+                report.current_optimized_size,
+                report.opt_compilations,
+                report.samples,
+                report.final_rules,
+                report.baseline_compilations,
+                report.fraction(aoci_vm::Component::CompilationThread) * 100.0,
+                report.fraction(aoci_vm::Component::Listeners) * 100.0,
+            );
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The shared (workload × policy) measurement grid with JSON caching.
+
+use crate::metrics::{policy_label, run_one, RunMetrics, POLICY_GROUPS};
+use aoci_core::PolicyKind;
+use aoci_workloads::suite;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A `(workload, policy-label)` key into the grid.
+pub type GridKey = (String, String);
+
+/// The cached measurement grid.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct GridStore {
+    /// Keyed as `"workload::policy"`.
+    pub entries: BTreeMap<String, RunMetrics>,
+}
+
+impl GridStore {
+    fn key(workload: &str, policy: &str) -> String {
+        format!("{workload}::{policy}")
+    }
+
+    /// Fetches an entry.
+    pub fn get(&self, workload: &str, policy: &str) -> Option<&RunMetrics> {
+        self.entries.get(&Self::key(workload, policy))
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, m: RunMetrics) {
+        self.entries
+            .insert(Self::key(&m.workload, &m.policy), m);
+    }
+}
+
+/// Path of the cached grid (`results/grid.json` next to the workspace
+/// root, honouring `AOCI_RESULTS_DIR`).
+pub fn grid_path() -> PathBuf {
+    let dir = std::env::var("AOCI_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(dir).join("grid.json")
+}
+
+/// The sensitivity sweep of the paper's figures: 2–5 normally, 2–3 under
+/// `AOCI_QUICK=1`.
+pub fn max_levels() -> Vec<u8> {
+    if quick() {
+        vec![2, 3]
+    } else {
+        vec![2, 3, 4, 5]
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("AOCI_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// All policies the figures need: the context-insensitive baseline plus
+/// every group × max level (and the adaptive-resolving extension).
+pub fn all_policies() -> Vec<PolicyKind> {
+    let mut v = vec![PolicyKind::ContextInsensitive];
+    for max in max_levels() {
+        for (_, make) in POLICY_GROUPS {
+            v.push(make(max));
+        }
+        v.push(PolicyKind::AdaptiveResolving { max });
+    }
+    v
+}
+
+/// Loads the cached grid (unless `AOCI_RERUN=1`), measures any missing
+/// entries, saves, and returns the complete grid.
+pub fn load_or_run_grid() -> GridStore {
+    let path = grid_path();
+    let mut store = if std::env::var("AOCI_RERUN").is_ok_and(|v| v == "1") {
+        GridStore::default()
+    } else {
+        std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_default()
+    };
+
+    let specs = suite();
+    let policies = all_policies();
+    let total = specs.len() * policies.len();
+    let mut done = 0;
+    let mut dirty = false;
+    for spec in &specs {
+        for &policy in &policies {
+            done += 1;
+            let label = policy_label(policy);
+            if store.get(spec.name, &label).is_some() {
+                continue;
+            }
+            eprintln!("[grid {done}/{total}] {} × {label}", spec.name);
+            store.insert(run_one(spec, policy));
+            dirty = true;
+        }
+    }
+    if dirty {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let json = serde_json::to_string_pretty(&store).expect("serializable");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: could not cache grid to {}: {e}", path.display());
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_round_trip() {
+        let mut s = GridStore::default();
+        let m = crate::metrics::RunMetrics {
+            workload: "w".into(),
+            policy: "fixed/3".into(),
+            total_cycles: 1,
+            cumulative_code: 1.0,
+            current_code: 1.0,
+            compile_cycles: 1.0,
+            opt_compilations: 1.0,
+            component_fracs: vec![],
+            samples: 0.0,
+            traces_recorded: 0.0,
+            frames_walked: 0.0,
+            guard_checks: 0.0,
+            guard_misses: 0.0,
+            virtual_dispatches: 0.0,
+            stats_immediately_parameterless: 0.0,
+            stats_parameterless_within_5: 0.0,
+            stats_class_within_2: 0.0,
+            stats_large_at_or_beyond_4: 0.0,
+            methods_compiled: 0,
+            result: None,
+        };
+        s.insert(m);
+        assert!(s.get("w", "fixed/3").is_some());
+        assert!(s.get("w", "fixed/4").is_none());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: GridStore = serde_json::from_str(&json).unwrap();
+        assert!(back.get("w", "fixed/3").is_some());
+    }
+
+    #[test]
+    fn policy_roster_covers_figures() {
+        // Without AOCI_QUICK the roster is 1 + 4 × 7 = 29 configurations.
+        let policies = all_policies();
+        assert!(policies.contains(&PolicyKind::ContextInsensitive));
+        assert!(policies.len() == 1 + max_levels().len() * 7);
+    }
+}

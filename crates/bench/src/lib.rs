@@ -1,0 +1,33 @@
+//! # aoci-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of *Adaptive Online Context-Sensitive
+//! Inlining* (CGO 2003) over the `aoci-workloads` suite:
+//!
+//! | binary     | paper artifact |
+//! |------------|----------------|
+//! | `table1`   | Table 1 — benchmark characteristics |
+//! | `fig4`     | Figure 4(a–f) — wall-clock speedup vs context-insensitive |
+//! | `fig5`     | Figure 5(a–f) — optimized code-size change |
+//! | `fig6`     | Figure 6 — % execution time per AOS component |
+//! | `summary`  | Abstract / Conclusion aggregate statistics |
+//! | `section4` | Section 4 trace-walk statistics |
+//! | `ablate`   | DESIGN.md ablations (matching, merging, decay, threshold, inline maps) |
+//!
+//! Runs are deterministic; to emulate the paper's best-of-20 protocol under
+//! timer non-determinism, each configuration is run `AOCI_REPS` times
+//! (default 3) with slightly perturbed sample periods and the median total
+//! time / mean code size are reported. Grid results are cached in
+//! `results/grid.json` so the figure binaries share one sweep; delete the
+//! file (or set `AOCI_RERUN=1`) to re-measure. `AOCI_QUICK=1` runs a
+//! reduced grid for fast iteration.
+
+pub mod grid;
+pub mod metrics;
+pub mod table;
+
+pub use grid::{grid_path, load_or_run_grid, GridKey, GridStore};
+pub use metrics::{
+    code_delta_pct, harmonic_mean_speedup_pct, policy_label, run_config, run_one, speedup_pct,
+    RunMetrics, POLICY_GROUPS,
+};
+pub use table::{fmt_pct, render_table};

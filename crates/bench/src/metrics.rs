@@ -1,0 +1,272 @@
+//! Single-run measurement and derived metrics.
+
+use aoci_aos::{AosConfig, AosSystem};
+use aoci_core::PolicyKind;
+use aoci_vm::{Component, COMPONENTS};
+use aoci_workloads::{build, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// The six policy groups of the paper's Figures 4/5, in subfigure order
+/// (a)–(f), keyed by the short label used throughout the harness output.
+pub const POLICY_GROUPS: [(&str, fn(u8) -> PolicyKind); 6] = [
+    ("fixed", |max| PolicyKind::Fixed { max }),
+    ("paramLess", |max| PolicyKind::Parameterless { max }),
+    ("class", |max| PolicyKind::ClassMethods { max }),
+    ("large", |max| PolicyKind::LargeMethods { max }),
+    ("hybrid1", |max| PolicyKind::ParameterlessClass { max }),
+    ("hybrid2", |max| PolicyKind::ParameterlessLarge { max }),
+];
+
+/// Canonical label for a policy configuration (e.g. `fixed/3`, `cins`).
+pub fn policy_label(policy: PolicyKind) -> String {
+    match policy {
+        PolicyKind::ContextInsensitive => "cins".to_string(),
+        PolicyKind::Fixed { max } => format!("fixed/{max}"),
+        PolicyKind::Parameterless { max } => format!("paramLess/{max}"),
+        PolicyKind::ClassMethods { max } => format!("class/{max}"),
+        PolicyKind::LargeMethods { max } => format!("large/{max}"),
+        PolicyKind::ParameterlessClass { max } => format!("hybrid1/{max}"),
+        PolicyKind::ParameterlessLarge { max } => format!("hybrid2/{max}"),
+        PolicyKind::IdealApprox { max } => format!("ideal/{max}"),
+        PolicyKind::AdaptiveResolving { max } => format!("adaptive/{max}"),
+    }
+}
+
+/// Aggregated measurements of one (workload, policy) configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Workload name.
+    pub workload: String,
+    /// Policy label ([`policy_label`]).
+    pub policy: String,
+    /// Median total simulated cycles over the repetitions (wall-clock
+    /// analogue).
+    pub total_cycles: u64,
+    /// Mean cumulative optimized code size (all optimized code generated).
+    pub cumulative_code: f64,
+    /// Mean resident optimized code size at end of run.
+    pub current_code: f64,
+    /// Mean cycles in the optimizing compilation thread.
+    pub compile_cycles: f64,
+    /// Mean optimizing compilations.
+    pub opt_compilations: f64,
+    /// Mean fraction of execution per component, in [`COMPONENTS`] order.
+    pub component_fracs: Vec<f64>,
+    /// Mean samples taken.
+    pub samples: f64,
+    /// Mean trace samples recorded.
+    pub traces_recorded: f64,
+    /// Mean stack frames walked by the trace listener.
+    pub frames_walked: f64,
+    /// Mean guard checks executed.
+    pub guard_checks: f64,
+    /// Mean guard misses.
+    pub guard_misses: f64,
+    /// Mean virtual dispatches.
+    pub virtual_dispatches: f64,
+    /// Trace-walk statistics (from the first repetition).
+    pub stats_immediately_parameterless: f64,
+    /// Fraction with a parameterless method within 5 levels.
+    pub stats_parameterless_within_5: f64,
+    /// Fraction with a class method within 2 levels.
+    pub stats_class_within_2: f64,
+    /// Fraction needing ≥ 4 levels to reach a large method.
+    pub stats_large_at_or_beyond_4: f64,
+    /// Methods dynamically (baseline-)compiled — Table 1 "Methods".
+    pub methods_compiled: u32,
+    /// Program return value (sanity: must agree across policies).
+    pub result: Option<i64>,
+}
+
+/// Number of repetitions per configuration (`AOCI_REPS`, default 3).
+pub fn reps() -> usize {
+    std::env::var("AOCI_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Builds the AOS configuration for one repetition: repetitions perturb the
+/// sampling period slightly, emulating the timer non-determinism the paper
+/// handles with a best-of-20 protocol.
+pub fn run_config(policy: PolicyKind, rep: usize) -> AosConfig {
+    let mut config = AosConfig::new(policy);
+    config.cost.sample_period += (rep as u64) * 37;
+    config
+}
+
+/// Runs one (workload, policy) configuration `reps` times and aggregates.
+pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
+    let w = build(spec);
+    let n = reps();
+    let mut totals: Vec<u64> = Vec::with_capacity(n);
+    let mut cumulative = 0.0;
+    let mut current = 0.0;
+    let mut compile = 0.0;
+    let mut compilations = 0.0;
+    let mut fracs = vec![0.0; COMPONENTS.len()];
+    let mut samples = 0.0;
+    let mut traces = 0.0;
+    let mut frames = 0.0;
+    let mut guard_checks = 0.0;
+    let mut guard_misses = 0.0;
+    let mut dispatches = 0.0;
+    let mut first_stats = None;
+    let mut methods_compiled = 0;
+    let mut result = None;
+    for rep in 0..n {
+        let report = AosSystem::new(&w.program, run_config(policy, rep))
+            .run()
+            .unwrap_or_else(|e| panic!("{}/{policy:?} rep {rep} faulted: {e}", spec.name));
+        totals.push(report.total_cycles());
+        cumulative += report.optimized_code_size as f64;
+        current += report.current_optimized_size as f64;
+        compile += report.compile_cycles() as f64;
+        compilations += report.opt_compilations as f64;
+        for (i, c) in COMPONENTS.iter().enumerate() {
+            fracs[i] += report.fraction(*c);
+        }
+        samples += report.samples as f64;
+        traces += report.traces_recorded as f64;
+        frames += report.frames_walked as f64;
+        guard_checks += report.counters.guard_checks as f64;
+        guard_misses += report.counters.guard_misses as f64;
+        dispatches += report.counters.virtual_dispatches as f64;
+        if first_stats.is_none() {
+            first_stats = Some(report.trace_stats);
+            methods_compiled = report.baseline_compilations;
+            result = report.result.and_then(|v| v.as_int());
+        } else {
+            let r = report.result.and_then(|v| v.as_int());
+            assert_eq!(r, result, "nondeterministic program result");
+        }
+    }
+    totals.sort_unstable();
+    let inv = 1.0 / n as f64;
+    let stats = first_stats.expect("at least one repetition");
+    RunMetrics {
+        workload: spec.name.to_string(),
+        policy: policy_label(policy),
+        total_cycles: totals[totals.len() / 2],
+        cumulative_code: cumulative * inv,
+        current_code: current * inv,
+        compile_cycles: compile * inv,
+        opt_compilations: compilations * inv,
+        component_fracs: fracs.iter().map(|f| f * inv).collect(),
+        samples: samples * inv,
+        traces_recorded: traces * inv,
+        frames_walked: frames * inv,
+        guard_checks: guard_checks * inv,
+        guard_misses: guard_misses * inv,
+        virtual_dispatches: dispatches * inv,
+        stats_immediately_parameterless: stats.immediately_parameterless,
+        stats_parameterless_within_5: stats.parameterless_within_5,
+        stats_class_within_2: stats.class_method_within_2,
+        stats_large_at_or_beyond_4: stats.large_at_or_beyond_4,
+        methods_compiled,
+        result,
+    }
+}
+
+impl RunMetrics {
+    /// Fraction of execution in `component`.
+    pub fn fraction(&self, component: Component) -> f64 {
+        let idx = COMPONENTS
+            .iter()
+            .position(|&c| c == component)
+            .expect("known component");
+        self.component_fracs[idx]
+    }
+}
+
+/// Figure 4 y-axis: percent wall-clock speedup of `policy` over the
+/// context-insensitive baseline (positive = faster).
+pub fn speedup_pct(cins: &RunMetrics, policy: &RunMetrics) -> f64 {
+    (cins.total_cycles as f64 / policy.total_cycles as f64 - 1.0) * 100.0
+}
+
+/// Figure 5 y-axis: percent change in optimized code space over the
+/// context-insensitive baseline (negative = smaller, desirable).
+pub fn code_delta_pct(cins: &RunMetrics, policy: &RunMetrics) -> f64 {
+    (policy.cumulative_code / cins.cumulative_code - 1.0) * 100.0
+}
+
+/// Percent change in optimizing-compilation time over the baseline.
+pub fn compile_delta_pct(cins: &RunMetrics, policy: &RunMetrics) -> f64 {
+    (policy.compile_cycles / cins.compile_cycles - 1.0) * 100.0
+}
+
+/// The paper's `harMean` bar: harmonic mean of the per-benchmark runtime
+/// ratios, expressed as a percent speedup.
+pub fn harmonic_mean_speedup_pct(pairs: &[(&RunMetrics, &RunMetrics)]) -> f64 {
+    let n = pairs.len() as f64;
+    let denom: f64 = pairs
+        .iter()
+        .map(|(cins, p)| 1.0 / (cins.total_cycles as f64 / p.total_cycles as f64))
+        .sum();
+    (n / denom - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(cycles: u64, code: f64) -> RunMetrics {
+        RunMetrics {
+            workload: "w".into(),
+            policy: "p".into(),
+            total_cycles: cycles,
+            cumulative_code: code,
+            current_code: code,
+            compile_cycles: 1.0,
+            opt_compilations: 1.0,
+            component_fracs: vec![0.0; COMPONENTS.len()],
+            samples: 0.0,
+            traces_recorded: 0.0,
+            frames_walked: 0.0,
+            guard_checks: 0.0,
+            guard_misses: 0.0,
+            virtual_dispatches: 0.0,
+            stats_immediately_parameterless: 0.0,
+            stats_parameterless_within_5: 0.0,
+            stats_class_within_2: 0.0,
+            stats_large_at_or_beyond_4: 0.0,
+            methods_compiled: 0,
+            result: None,
+        }
+    }
+
+    #[test]
+    fn speedup_sign_convention() {
+        let cins = metrics(1100, 100.0);
+        let faster = metrics(1000, 100.0);
+        assert!(speedup_pct(&cins, &faster) > 9.9);
+        let slower = metrics(1200, 100.0);
+        assert!(speedup_pct(&cins, &slower) < 0.0);
+    }
+
+    #[test]
+    fn code_delta_sign_convention() {
+        let cins = metrics(1000, 100.0);
+        let smaller = metrics(1000, 90.0);
+        assert!((code_delta_pct(&cins, &smaller) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_mean_of_equal_ratios() {
+        let cins = metrics(1000, 100.0);
+        let p = metrics(800, 100.0);
+        let hm = harmonic_mean_speedup_pct(&[(&cins, &p), (&cins, &p)]);
+        assert!((hm - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(policy_label(PolicyKind::ContextInsensitive), "cins");
+        assert_eq!(policy_label(PolicyKind::Fixed { max: 4 }), "fixed/4");
+        assert_eq!(
+            policy_label(PolicyKind::ParameterlessLarge { max: 2 }),
+            "hybrid2/2"
+        );
+    }
+}

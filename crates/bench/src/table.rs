@@ -1,0 +1,71 @@
+//! Minimal ASCII table rendering for harness output.
+
+/// Formats a percentage with sign, one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Renders a table: header row plus data rows, columns padded to content.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let pad = widths[i].saturating_sub(cell.len());
+            if i == 0 {
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad));
+            } else {
+                line.push_str(&" ".repeat(pad));
+                line.push_str(cell);
+            }
+        }
+        line
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render_table(
+            &["name".into(), "x".into()],
+            &[
+                vec!["alpha".into(), "1.0".into()],
+                vec!["b".into(), "10.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("10.25"));
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(1.23), "+1.2%");
+        assert_eq!(fmt_pct(-10.0), "-10.0%");
+    }
+}

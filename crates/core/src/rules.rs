@@ -1,0 +1,334 @@
+//! Inlining rules and the Equation 3 partial-match query.
+
+use aoci_ir::{CallSiteRef, MethodId};
+use aoci_profile::{HotTrace, TraceKey};
+use std::collections::HashMap;
+
+/// One inlining rule: a hot trace that should be inlined when possible.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InlineRule {
+    /// The hot trace (callee + context, innermost caller first).
+    pub trace: TraceKey,
+    /// The trace's profile weight when the rule was formed.
+    pub weight: f64,
+    /// The trace's fraction of total profile weight when the rule was
+    /// formed.
+    pub fraction: f64,
+}
+
+/// A set of inlining rules derived from the hot traces of the dynamic call
+/// graph, indexed by immediate call site.
+///
+/// Rules are kept exactly as collected — partial matches are *not* merged
+/// (paper Section 3.3); combining information across rules happens at query
+/// time in [`RuleSet::candidates`].
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    by_site: HashMap<CallSiteRef, Vec<InlineRule>>,
+    len: usize,
+}
+
+impl RuleSet {
+    /// A content fingerprint over the rule *traces* (weights excluded, so
+    /// ordinary weight drift does not change the fingerprint). The AOS
+    /// database stores the fingerprint each method was compiled under; the
+    /// missing-edge organizer only reconsiders a method when the rules have
+    /// actually changed since.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut keys: Vec<&TraceKey> = self.iter().map(|r| &r.trace).collect();
+        keys.sort();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for k in keys {
+            k.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a rule set from the DCG's hot traces.
+    pub fn from_hot_traces(hot: impl IntoIterator<Item = HotTrace>) -> Self {
+        let mut set = RuleSet::new();
+        for h in hot {
+            set.insert(InlineRule { trace: h.key, weight: h.weight, fraction: h.fraction });
+        }
+        set
+    }
+
+    /// Builds a rule set from raw `(trace, weight)` pairs and the total
+    /// profile weight (mainly for tests and examples).
+    pub fn from_rules(rules: impl IntoIterator<Item = (TraceKey, f64)>, total: f64) -> Self {
+        let mut set = RuleSet::new();
+        for (trace, weight) in rules {
+            let fraction = if total > 0.0 { weight / total } else { 0.0 };
+            set.insert(InlineRule { trace, weight, fraction });
+        }
+        set
+    }
+
+    /// Adds one rule.
+    pub fn insert(&mut self, rule: InlineRule) {
+        self.by_site
+            .entry(rule.trace.immediate_caller())
+            .or_default()
+            .push(rule);
+        self.len += 1;
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Rules whose immediate call site is `site`.
+    pub fn rules_for_site(&self, site: CallSiteRef) -> &[InlineRule] {
+        self.by_site.get(&site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all rules in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &InlineRule> {
+        self.by_site.values().flatten()
+    }
+
+    /// Returns the rules *applicable* to a compilation context (Equation 3):
+    /// those agreeing with `compile_context` on every level both have.
+    /// `compile_context[0]` must be the call site being compiled.
+    pub fn applicable(&self, compile_context: &[CallSiteRef]) -> Vec<&InlineRule> {
+        let Some(&site) = compile_context.first() else {
+            return Vec::new();
+        };
+        self.rules_for_site(site)
+            .iter()
+            .filter(|r| {
+                r.trace
+                    .context()
+                    .iter()
+                    .zip(compile_context.iter())
+                    .all(|(a, b)| a == b)
+            })
+            .collect()
+    }
+
+    /// Exact-match variant (the oracle's ablation mode): only rules whose
+    /// context is *identical* to `compile_context` contribute.
+    pub fn candidates_exact(&self, compile_context: &[CallSiteRef]) -> Vec<(MethodId, f64)> {
+        let mut out: Vec<(MethodId, f64)> = self
+            .applicable(compile_context)
+            .into_iter()
+            .filter(|r| r.trace.context() == compile_context)
+            .map(|r| (r.trace.callee(), r.weight))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+
+    /// The paper's candidate-selection algorithm: group applicable rules by
+    /// identical (full) context, form each group's set of target methods,
+    /// and intersect the sets. A callee frequently invoked from *every*
+    /// traced context applicable here is predicted to be a good inlining
+    /// candidate even without an exact context match.
+    ///
+    /// Returns `(callee, total weight across applicable rules)` pairs,
+    /// heaviest first (ties broken by callee id for determinism).
+    pub fn candidates(&self, compile_context: &[CallSiteRef]) -> Vec<(MethodId, f64)> {
+        let applicable = self.applicable(compile_context);
+        if applicable.is_empty() {
+            return Vec::new();
+        }
+        let mut groups: HashMap<&[CallSiteRef], Vec<&InlineRule>> = HashMap::new();
+        for r in &applicable {
+            groups.entry(r.trace.context()).or_default().push(r);
+        }
+        let mut weights: HashMap<MethodId, f64> = HashMap::new();
+        let mut in_all: Option<std::collections::HashSet<MethodId>> = None;
+        for rules in groups.values() {
+            let set: std::collections::HashSet<MethodId> =
+                rules.iter().map(|r| r.trace.callee()).collect();
+            in_all = Some(match in_all {
+                None => set,
+                Some(acc) => acc.intersection(&set).copied().collect(),
+            });
+        }
+        for r in &applicable {
+            *weights.entry(r.trace.callee()).or_insert(0.0) += r.weight;
+        }
+        let survivors = in_all.unwrap_or_default();
+        let mut out: Vec<(MethodId, f64)> = survivors
+            .into_iter()
+            .map(|m| (m, weights.get(&m).copied().unwrap_or(0.0)))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_ir::SiteIdx;
+
+    fn cs(m: usize, s: u16) -> CallSiteRef {
+        CallSiteRef::new(MethodId::from_index(m), SiteIdx(s))
+    }
+
+    fn mid(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+
+    fn set(rules: Vec<(TraceKey, f64)>) -> RuleSet {
+        let total: f64 = rules.iter().map(|(_, w)| w).sum();
+        RuleSet::from_rules(rules, total)
+    }
+
+    #[test]
+    fn exact_match_single_rule() {
+        let s = set(vec![(TraceKey::edge(cs(0, 0), mid(1)), 5.0)]);
+        let c = s.candidates(&[cs(0, 0)]);
+        assert_eq!(c, vec![(mid(1), 5.0)]);
+        assert!(s.candidates(&[cs(0, 1)]).is_empty());
+    }
+
+    #[test]
+    fn rule_with_more_context_than_compilation_applies() {
+        // Rule: X@1 => A@0 => callee. Compiling with context just [A@0]:
+        // "it is often the case that the profile data has more (often
+        // irrelevant) context than is available at the call site".
+        let s = set(vec![(
+            TraceKey::new(mid(9), vec![cs(0, 0), cs(1, 1)]),
+            4.0,
+        )]);
+        let c = s.candidates(&[cs(0, 0)]);
+        assert_eq!(c, vec![(mid(9), 4.0)]);
+    }
+
+    #[test]
+    fn compilation_with_more_context_than_rule_applies() {
+        // Rule is a plain edge; compilation context is deeper.
+        let s = set(vec![(TraceKey::edge(cs(0, 0), mid(9)), 4.0)]);
+        let c = s.candidates(&[cs(0, 0), cs(1, 1), cs(2, 2)]);
+        assert_eq!(c, vec![(mid(9), 4.0)]);
+    }
+
+    #[test]
+    fn divergent_context_rules_out() {
+        let s = set(vec![(
+            TraceKey::new(mid(9), vec![cs(0, 0), cs(1, 1)]),
+            4.0,
+        )]);
+        // Second level disagrees (cs(7,7) vs rule's cs(1,1)).
+        assert!(s.candidates(&[cs(0, 0), cs(7, 7)]).is_empty());
+    }
+
+    #[test]
+    fn intersection_across_context_groups() {
+        // Two applicable context groups:
+        //   group A (deep ctx via X): targets {1, 2}
+        //   group B (deep ctx via Y): targets {1}
+        // Intersection = {1}: callee 2 was hot only in one context group.
+        let s = set(vec![
+            (TraceKey::new(mid(1), vec![cs(0, 0), cs(10, 0)]), 3.0),
+            (TraceKey::new(mid(2), vec![cs(0, 0), cs(10, 0)]), 3.0),
+            (TraceKey::new(mid(1), vec![cs(0, 0), cs(11, 0)]), 3.0),
+        ]);
+        // Compile with only the site available: both groups applicable.
+        let c = s.candidates(&[cs(0, 0)]);
+        assert_eq!(c, vec![(mid(1), 6.0)]);
+    }
+
+    #[test]
+    fn disambiguation_with_full_context() {
+        // The HashMap example: same site, two contexts, opposite targets.
+        let s = set(vec![
+            (TraceKey::new(mid(1), vec![cs(0, 0), cs(9, 0)]), 5.0),
+            (TraceKey::new(mid(2), vec![cs(0, 0), cs(9, 1)]), 5.0),
+        ]);
+        // Compiling within context cs(9,0): only the first rule applies.
+        assert_eq!(s.candidates(&[cs(0, 0), cs(9, 0)]), vec![(mid(1), 5.0)]);
+        assert_eq!(s.candidates(&[cs(0, 0), cs(9, 1)]), vec![(mid(2), 5.0)]);
+        // Without context, the groups disagree → intersection is empty.
+        assert!(s.candidates(&[cs(0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn candidates_ordered_by_weight() {
+        let s = set(vec![
+            (TraceKey::edge(cs(0, 0), mid(1)), 2.0),
+            (TraceKey::edge(cs(0, 0), mid(2)), 7.0),
+        ]);
+        let c = s.candidates(&[cs(0, 0)]);
+        assert_eq!(c, vec![(mid(2), 7.0), (mid(1), 2.0)]);
+    }
+
+    #[test]
+    fn empty_context_yields_nothing() {
+        let s = set(vec![(TraceKey::edge(cs(0, 0), mid(1)), 2.0)]);
+        assert!(s.candidates(&[]).is_empty());
+        assert!(s.applicable(&[]).is_empty());
+    }
+
+    #[test]
+    fn exact_match_requires_identical_context() {
+        let s = set(vec![
+            (TraceKey::new(mid(9), vec![cs(0, 0), cs(1, 1)]), 4.0),
+            (TraceKey::edge(cs(0, 0), mid(8)), 2.0),
+        ]);
+        // Exact: context [cs(0,0)] matches only the depth-1 rule.
+        assert_eq!(s.candidates_exact(&[cs(0, 0)]), vec![(mid(8), 2.0)]);
+        // The deep rule needs the full context.
+        assert_eq!(
+            s.candidates_exact(&[cs(0, 0), cs(1, 1)]),
+            vec![(mid(9), 4.0)]
+        );
+        // Partial matching at the shallow context sees two disagreeing
+        // context groups — the intersection is empty (ambiguous site).
+        assert!(s.candidates(&[cs(0, 0)]).is_empty());
+    }
+
+
+    #[test]
+    fn fingerprint_ignores_weights_but_not_traces() {
+        let a = set(vec![
+            (TraceKey::edge(cs(0, 0), mid(1)), 2.0),
+            (TraceKey::edge(cs(0, 1), mid(2)), 3.0),
+        ]);
+        let b = set(vec![
+            (TraceKey::edge(cs(0, 1), mid(2)), 30.0),
+            (TraceKey::edge(cs(0, 0), mid(1)), 20.0),
+        ]);
+        // Same traces (any order, any weights) → same fingerprint.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = set(vec![(TraceKey::edge(cs(0, 0), mid(1)), 2.0)]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(RuleSet::new().fingerprint(), RuleSet::new().fingerprint());
+    }
+
+    #[test]
+    fn from_hot_traces_builds_fractions() {
+        let mut dcg = aoci_profile::Dcg::default();
+        dcg.record(TraceKey::edge(cs(0, 0), mid(1)), 98.0);
+        dcg.record(TraceKey::edge(cs(0, 1), mid(2)), 2.0);
+        let rs = RuleSet::from_hot_traces(dcg.hot(0.015));
+        assert_eq!(rs.len(), 2);
+        let r = &rs.rules_for_site(cs(0, 0))[0];
+        assert!((r.fraction - 0.98).abs() < 1e-12);
+    }
+}

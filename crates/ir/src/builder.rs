@@ -1,0 +1,633 @@
+//! Fluent construction of programs and method bodies.
+
+use crate::class::{ClassDef, FieldDef, SelectorDef};
+use crate::error::IrError;
+use crate::ids::{ClassId, FieldId, GlobalId, Label, MethodId, Reg, SelectorId, SiteIdx};
+use crate::instr::{BinOp, Cond, Instr};
+use crate::method::{MethodDef, MethodKind};
+use crate::program::Program;
+use crate::size;
+use crate::validate;
+use std::collections::HashMap;
+
+/// Incrementally builds a [`Program`].
+///
+/// Declare classes, fields, selectors and globals, then build method bodies
+/// with [`MethodBuilder`]s obtained from [`ProgramBuilder::static_method`] /
+/// [`ProgramBuilder::virtual_method`]. Finally call
+/// [`ProgramBuilder::finish`] with the entry point; the whole program is
+/// validated at that point.
+///
+/// Superclasses must be declared before their subclasses, which guarantees
+/// the inheritance graph is acyclic by construction.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    classes: Vec<ClassDef>,
+    methods: Vec<Option<MethodDef>>,
+    fields: Vec<FieldDef>,
+    selectors: Vec<SelectorDef>,
+    selector_index: HashMap<(String, u16), SelectorId>,
+    global_names: Vec<String>,
+    errors: Vec<IrError>,
+    class_names: HashMap<String, ClassId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a class with an optional superclass.
+    ///
+    /// The superclass, if given, must have been declared earlier by this
+    /// builder. Duplicate class names are reported at [`finish`] time.
+    ///
+    /// [`finish`]: ProgramBuilder::finish
+    pub fn class(&mut self, name: impl Into<String>, superclass: Option<ClassId>) -> ClassId {
+        let name = name.into();
+        let id = ClassId(self.classes.len() as u32);
+        if let Some(sup) = superclass {
+            if sup.index() >= self.classes.len() {
+                self.errors.push(IrError::UnknownClass { class: sup });
+            }
+        }
+        if self.class_names.insert(name.clone(), id).is_some() {
+            self.errors.push(IrError::DuplicateClassName { name: name.clone() });
+        }
+        self.classes.push(ClassDef {
+            id,
+            name,
+            superclass,
+            declared_fields: Vec::new(),
+            layout_size: 0, // finalized in `finish`
+            vtable: HashMap::new(),
+            depth: 0, // finalized in `finish`
+        });
+        id
+    }
+
+    /// Declares a field on `class`. Layout offsets are assigned at
+    /// [`finish`](ProgramBuilder::finish) time.
+    pub fn field(&mut self, class: ClassId, name: impl Into<String>) -> FieldId {
+        let id = FieldId(self.fields.len() as u32);
+        self.fields.push(FieldDef {
+            id,
+            name: name.into(),
+            owner: class,
+            offset: 0, // finalized in `finish`
+        });
+        if let Some(c) = self.classes.get_mut(class.index()) {
+            c.declared_fields.push(id);
+        } else {
+            self.errors.push(IrError::UnknownClass { class });
+        }
+        id
+    }
+
+    /// Declares (or returns the existing) selector with the given name and
+    /// arity (excluding the receiver).
+    pub fn selector(&mut self, name: impl Into<String>, arity: u16) -> SelectorId {
+        let name = name.into();
+        if let Some(&id) = self.selector_index.get(&(name.clone(), arity)) {
+            return id;
+        }
+        let id = SelectorId(self.selectors.len() as u32);
+        self.selectors.push(SelectorDef { id, name: name.clone(), arity });
+        self.selector_index.insert((name, arity), id);
+        id
+    }
+
+    /// Declares a global (static) variable, initialised to integer 0.
+    pub fn global(&mut self, name: impl Into<String>) -> GlobalId {
+        let id = GlobalId(self.global_names.len() as u32);
+        self.global_names.push(name.into());
+        id
+    }
+
+    /// Starts building a static method with `arity` parameters.
+    pub fn static_method(&mut self, name: impl Into<String>, arity: u16) -> MethodBuilder<'_> {
+        let id = self.alloc_method();
+        MethodBuilder::new(self, id, name.into(), MethodKind::Static, arity)
+    }
+
+    /// Starts building a virtual method implementing `selector` on `class`.
+    ///
+    /// The method is installed in the class's vtable immediately, so
+    /// recursive and mutually-virtual calls can be expressed. Its arity is
+    /// the selector's arity.
+    pub fn virtual_method(
+        &mut self,
+        name: impl Into<String>,
+        class: ClassId,
+        selector: SelectorId,
+    ) -> MethodBuilder<'_> {
+        let id = self.alloc_method();
+        let arity = self.selectors[selector.index()].arity;
+        if let Some(c) = self.classes.get_mut(class.index()) {
+            c.vtable.insert(selector, id);
+        } else {
+            self.errors.push(IrError::UnknownClass { class });
+        }
+        MethodBuilder::new(
+            self,
+            id,
+            name.into(),
+            MethodKind::Virtual { owner: class, selector },
+            arity,
+        )
+    }
+
+    fn alloc_method(&mut self) -> MethodId {
+        let id = MethodId(self.methods.len() as u32);
+        self.methods.push(None);
+        id
+    }
+
+    pub(crate) fn install(&mut self, def: MethodDef) {
+        let idx = def.id.index();
+        self.methods[idx] = Some(def);
+    }
+
+    pub(crate) fn push_error(&mut self, e: IrError) {
+        self.errors.push(e);
+    }
+
+    /// Finalises the program with `entry` as the entry point.
+    ///
+    /// Computes field layouts and class depths, indexes selector
+    /// implementations, and validates every method body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction or validation error encountered (label
+    /// fixup failures, branch/register/arity violations, bad entry point,
+    /// duplicate class names).
+    pub fn finish(mut self, entry: MethodId) -> Result<Program, IrError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+
+        // Field layouts: classes are declared parents-first, so a single
+        // in-order pass suffices.
+        for ci in 0..self.classes.len() {
+            let (parent_size, depth) = match self.classes[ci].superclass {
+                Some(sup) => {
+                    let s = &self.classes[sup.index()];
+                    (s.layout_size, s.depth + 1)
+                }
+                None => (0, 0),
+            };
+            let declared = self.classes[ci].declared_fields.clone();
+            for (k, fid) in declared.iter().enumerate() {
+                self.fields[fid.index()].offset = parent_size + k as u32;
+            }
+            self.classes[ci].layout_size = parent_size + declared.len() as u32;
+            self.classes[ci].depth = depth;
+        }
+
+        let methods: Vec<MethodDef> = self
+            .methods
+            .into_iter()
+            .map(|m| m.expect("every allocated method must be finished"))
+            .collect();
+
+        let mut impls_by_selector: HashMap<SelectorId, Vec<MethodId>> = HashMap::new();
+        for c in &self.classes {
+            for (&sel, &m) in &c.vtable {
+                impls_by_selector.entry(sel).or_default().push(m);
+            }
+        }
+        for v in impls_by_selector.values_mut() {
+            v.sort();
+        }
+
+        let program = Program {
+            classes: self.classes,
+            methods,
+            fields: self.fields,
+            selectors: self.selectors,
+            global_names: self.global_names,
+            entry,
+            impls_by_selector,
+        };
+
+        validate::validate(&program)?;
+        Ok(program)
+    }
+}
+
+/// Builds one method body; obtained from
+/// [`ProgramBuilder::static_method`] or [`ProgramBuilder::virtual_method`].
+///
+/// Registers `0..total_args` hold the incoming arguments (register 0 is the
+/// receiver for virtual methods); [`MethodBuilder::fresh_reg`] allocates
+/// scratch registers above them. Branch targets are expressed with labels
+/// ([`MethodBuilder::label`] / [`MethodBuilder::bind`]) and resolved when
+/// [`MethodBuilder::finish`] is called.
+#[derive(Debug)]
+pub struct MethodBuilder<'p> {
+    parent: &'p mut ProgramBuilder,
+    id: MethodId,
+    name: String,
+    kind: MethodKind,
+    arity: u16,
+    next_reg: u16,
+    body: Vec<Instr>,
+    next_site: u16,
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, Label)>,
+}
+
+impl<'p> MethodBuilder<'p> {
+    fn new(
+        parent: &'p mut ProgramBuilder,
+        id: MethodId,
+        name: String,
+        kind: MethodKind,
+        arity: u16,
+    ) -> Self {
+        let total_args = match kind {
+            MethodKind::Static => arity,
+            MethodKind::Virtual { .. } => arity + 1,
+        };
+        MethodBuilder {
+            parent,
+            id,
+            name,
+            kind,
+            arity,
+            next_reg: total_args,
+            body: Vec::new(),
+            next_site: 0,
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Returns the id the finished method will have.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// Returns the receiver register (virtual methods only).
+    pub fn receiver(&self) -> Option<Reg> {
+        match self.kind {
+            MethodKind::Static => None,
+            MethodKind::Virtual { .. } => Some(Reg(0)),
+        }
+    }
+
+    /// Returns the register holding declared parameter `i` (0-based,
+    /// excluding the receiver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= arity`.
+    pub fn param(&self, i: u16) -> Reg {
+        assert!(i < self.arity, "parameter index out of range");
+        match self.kind {
+            MethodKind::Static => Reg(i),
+            MethodKind::Virtual { .. } => Reg(i + 1),
+        }
+    }
+
+    /// Allocates a fresh scratch register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Returns the index the next emitted instruction will have.
+    pub fn next_index(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.labels.len() as u32);
+        self.labels.push(None);
+        l
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.body.len() as u32);
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.body.push(i);
+    }
+
+    /// Emits `dst = value`.
+    pub fn const_int(&mut self, dst: Reg, value: i64) {
+        self.emit(Instr::Const { dst, value });
+    }
+
+    /// Emits `dst = null`.
+    pub fn const_null(&mut self, dst: Reg) {
+        self.emit(Instr::ConstNull { dst });
+    }
+
+    /// Emits `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Instr::Move { dst, src });
+    }
+
+    /// Emits `dst = lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.emit(Instr::Bin { op, dst, lhs, rhs });
+    }
+
+    /// Emits a straight-line block of `units` abstract instructions of work.
+    pub fn work(&mut self, units: u32) {
+        self.emit(Instr::Work { units });
+    }
+
+    /// Emits `dst = new class`.
+    pub fn new_obj(&mut self, dst: Reg, class: ClassId) {
+        self.emit(Instr::New { dst, class });
+    }
+
+    /// Emits `dst = obj.field`.
+    pub fn get_field(&mut self, dst: Reg, obj: Reg, field: FieldId) {
+        self.emit(Instr::GetField { dst, obj, field });
+    }
+
+    /// Emits `obj.field = src`.
+    pub fn put_field(&mut self, obj: Reg, field: FieldId, src: Reg) {
+        self.emit(Instr::PutField { obj, field, src });
+    }
+
+    /// Emits `dst = global`.
+    pub fn get_global(&mut self, dst: Reg, global: GlobalId) {
+        self.emit(Instr::GetGlobal { dst, global });
+    }
+
+    /// Emits `global = src`.
+    pub fn put_global(&mut self, global: GlobalId, src: Reg) {
+        self.emit(Instr::PutGlobal { global, src });
+    }
+
+    /// Emits `dst = new array[len]`.
+    pub fn arr_new(&mut self, dst: Reg, len: Reg) {
+        self.emit(Instr::ArrNew { dst, len });
+    }
+
+    /// Emits `dst = arr[idx]`.
+    pub fn arr_get(&mut self, dst: Reg, arr: Reg, idx: Reg) {
+        self.emit(Instr::ArrGet { dst, arr, idx });
+    }
+
+    /// Emits `arr[idx] = src`.
+    pub fn arr_set(&mut self, arr: Reg, idx: Reg, src: Reg) {
+        self.emit(Instr::ArrSet { arr, idx, src });
+    }
+
+    /// Emits `dst = arr.length`.
+    pub fn arr_len(&mut self, dst: Reg, arr: Reg) {
+        self.emit(Instr::ArrLen { dst, arr });
+    }
+
+    /// Emits `dst = obj instanceof class`.
+    pub fn instance_of(&mut self, dst: Reg, obj: Reg, class: ClassId) {
+        self.emit(Instr::InstanceOf { dst, obj, class });
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) {
+        let at = self.body.len();
+        self.fixups.push((at, label));
+        self.emit(Instr::Jump { target: u32::MAX });
+    }
+
+    /// Emits a conditional branch to `label` when `lhs cond rhs`.
+    pub fn branch(&mut self, cond: Cond, lhs: Reg, rhs: Reg, label: Label) {
+        let at = self.body.len();
+        self.fixups.push((at, label));
+        self.emit(Instr::Branch { cond, lhs, rhs, target: u32::MAX });
+    }
+
+    /// Emits a static call; returns the new call site's index.
+    pub fn call_static(&mut self, dst: Option<Reg>, callee: MethodId, args: &[Reg]) -> SiteIdx {
+        let site = SiteIdx(self.next_site);
+        self.next_site += 1;
+        self.emit(Instr::CallStatic { site, dst, callee, args: args.to_vec() });
+        site
+    }
+
+    /// Emits a virtual call; returns the new call site's index.
+    pub fn call_virtual(
+        &mut self,
+        dst: Option<Reg>,
+        selector: SelectorId,
+        recv: Reg,
+        args: &[Reg],
+    ) -> SiteIdx {
+        let site = SiteIdx(self.next_site);
+        self.next_site += 1;
+        self.emit(Instr::CallVirtual { site, dst, selector, recv, args: args.to_vec() });
+        site
+    }
+
+    /// Emits a return.
+    pub fn ret(&mut self, src: Option<Reg>) {
+        self.emit(Instr::Return { src });
+    }
+
+    /// Resolves labels, installs the method in the program builder and
+    /// returns its id.
+    ///
+    /// Label-resolution failures are recorded on the parent builder and
+    /// reported by [`ProgramBuilder::finish`].
+    pub fn finish(mut self) -> MethodId {
+        let mut unbound = false;
+        for (at, label) in std::mem::take(&mut self.fixups) {
+            match self.labels[label.0 as usize] {
+                Some(target) => self.body[at].map_branch_target(|_| target),
+                None => unbound = true,
+            }
+        }
+        if unbound {
+            let name = self.name.clone();
+            self.parent.push_error(IrError::UnboundLabel { method: name });
+        }
+        let size_estimate = size::body_size(&self.body);
+        let def = MethodDef {
+            id: self.id,
+            name: self.name,
+            kind: self.kind,
+            arity: self.arity,
+            num_regs: self.next_reg,
+            body: self.body,
+            num_sites: self.next_site,
+            size_estimate,
+        };
+        let id = def.id;
+        self.parent.install(def);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_main(b: &mut ProgramBuilder) -> MethodId {
+        let mut m = b.static_method("main", 0);
+        m.ret(None);
+        m.finish()
+    }
+
+    #[test]
+    fn builds_minimal_program() {
+        let mut b = ProgramBuilder::new();
+        let main = trivial_main(&mut b);
+        let p = b.finish(main).unwrap();
+        assert_eq!(p.num_methods(), 1);
+        assert_eq!(p.entry(), main);
+    }
+
+    #[test]
+    fn field_layout_includes_inherited() {
+        let mut b = ProgramBuilder::new();
+        let a = b.class("A", None);
+        let fa = b.field(a, "x");
+        let c = b.class("B", Some(a));
+        let fb = b.field(c, "y");
+        let main = trivial_main(&mut b);
+        let p = b.finish(main).unwrap();
+        assert_eq!(p.field(fa).offset(), 0);
+        assert_eq!(p.field(fb).offset(), 1);
+        assert_eq!(p.class(a).layout_size(), 1);
+        assert_eq!(p.class(c).layout_size(), 2);
+        assert_eq!(p.class(c).depth(), 1);
+    }
+
+    #[test]
+    fn selector_deduplication() {
+        let mut b = ProgramBuilder::new();
+        let s1 = b.selector("foo", 2);
+        let s2 = b.selector("foo", 2);
+        let s3 = b.selector("foo", 3);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn virtual_dispatch_walks_hierarchy() {
+        let mut b = ProgramBuilder::new();
+        let sel = b.selector("go", 0);
+        let a = b.class("A", None);
+        let sub = b.class("Sub", Some(a));
+        let m = {
+            let mut mb = b.virtual_method("A.go", a, sel);
+            mb.ret(None);
+            mb.finish()
+        };
+        let main = trivial_main(&mut b);
+        let p = b.finish(main).unwrap();
+        assert_eq!(p.lookup_virtual(sub, sel), Some(m));
+        assert_eq!(p.lookup_virtual(a, sel), Some(m));
+        assert_eq!(p.implementations(sel), &[m]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new();
+        let main = {
+            let mut m = b.static_method("main", 0);
+            let r = m.fresh_reg();
+            m.const_int(r, 3);
+            let top = m.label();
+            let out = m.label();
+            m.bind(top);
+            m.branch(Cond::Le, r, r, out); // always taken
+            m.jump(top);
+            m.bind(out);
+            m.ret(None);
+            m.finish()
+        };
+        let p = b.finish(main).unwrap();
+        let body = p.method(main).body();
+        assert_eq!(body[1].branch_target(), Some(3));
+        assert_eq!(body[2].branch_target(), Some(1));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let main = {
+            let mut m = b.static_method("main", 0);
+            let l = m.label();
+            m.jump(l);
+            m.ret(None);
+            m.finish()
+        };
+        let err = b.finish(main).unwrap_err();
+        assert!(matches!(err, IrError::UnboundLabel { .. }));
+    }
+
+    #[test]
+    fn duplicate_class_name_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.class("A", None);
+        b.class("A", None);
+        let main = trivial_main(&mut b);
+        let err = b.finish(main).unwrap_err();
+        assert!(matches!(err, IrError::DuplicateClassName { .. }));
+    }
+
+    #[test]
+    fn call_sites_number_densely() {
+        let mut b = ProgramBuilder::new();
+        let callee = {
+            let mut m = b.static_method("callee", 0);
+            m.ret(None);
+            m.finish()
+        };
+        let main = {
+            let mut m = b.static_method("main", 0);
+            let s0 = m.call_static(None, callee, &[]);
+            let s1 = m.call_static(None, callee, &[]);
+            m.ret(None);
+            assert_eq!((s0, s1), (SiteIdx(0), SiteIdx(1)));
+            m.finish()
+        };
+        let p = b.finish(main).unwrap();
+        assert_eq!(p.method(main).num_sites(), 2);
+        assert_eq!(p.method(main).site_instr_index(SiteIdx(1)), Some(1));
+    }
+
+    #[test]
+    fn params_and_receiver_registers() {
+        let mut b = ProgramBuilder::new();
+        let sel = b.selector("f", 2);
+        let a = b.class("A", None);
+        {
+            let mut m = b.virtual_method("A.f", a, sel);
+            assert_eq!(m.receiver(), Some(Reg(0)));
+            assert_eq!(m.param(0), Reg(1));
+            assert_eq!(m.param(1), Reg(2));
+            let r = m.fresh_reg();
+            assert_eq!(r, Reg(3));
+            m.ret(None);
+            m.finish();
+        }
+        {
+            let mut m = b.static_method("g", 1);
+            assert_eq!(m.receiver(), None);
+            assert_eq!(m.param(0), Reg(0));
+            m.ret(None);
+            m.finish();
+        }
+    }
+}

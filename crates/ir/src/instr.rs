@@ -1,0 +1,279 @@
+//! Instruction set of the AOCI bytecode.
+//!
+//! The IR is register-based three-address code. Control flow uses absolute
+//! instruction indices as branch targets (the builder provides labels).
+//!
+//! Two instruction groups exist:
+//!
+//! * **source instructions** — everything a front end / workload generator
+//!   emits;
+//! * **compiler-introduced instructions** — [`Instr::GuardClass`] and
+//!   [`Instr::GuardMethod`], emitted by the optimizing compiler to implement
+//!   *guarded inlining* of virtual call targets (paper Section 3.1). The VM
+//!   executes them like any other instruction; a failed guard branches to
+//!   the retained virtual-dispatch fallback.
+
+use crate::ids::{ClassId, FieldId, GlobalId, MethodId, Reg, SelectorId, SiteIdx};
+use std::fmt;
+
+/// Binary arithmetic/logic operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; division by zero is a VM runtime error.
+    Div,
+    /// Remainder; remainder by zero is a VM runtime error.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison conditions for [`Instr::Branch`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Equal (integers by value, references by identity, null == null).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than (integers only).
+    Lt,
+    /// Signed less-or-equal (integers only).
+    Le,
+    /// Signed greater-than (integers only).
+    Gt,
+    /// Signed greater-or-equal (integers only).
+    Ge,
+}
+
+impl Cond {
+    /// Returns the condition with operands swapped-and-negated semantics
+    /// inverted, i.e. `a OP b == !(a inverse(OP) b)`.
+    pub fn inverse(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Operand fields follow a fixed naming convention — `dst` destination
+/// register, `src` source register, `lhs`/`rhs` operands, `obj`/`arr`/`recv`
+/// reference operands, `target`/`else_target` branch targets — documented
+/// once here rather than per variant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Instr {
+    /// `dst = value`.
+    Const { dst: Reg, value: i64 },
+    /// `dst = null`.
+    ConstNull { dst: Reg },
+    /// `dst = src`.
+    Move { dst: Reg, src: Reg },
+    /// `dst = lhs op rhs` (integer operands).
+    Bin { op: BinOp, dst: Reg, lhs: Reg, rhs: Reg },
+    /// Straight-line computational work of `units` abstract instructions.
+    ///
+    /// `Work` models a block of arithmetic of the given size without
+    /// materialising that many `Instr`s: it costs `units` execution cycles
+    /// and counts as `units` toward code-size estimates. Workload generators
+    /// use it to give methods realistic bodies cheaply.
+    Work { units: u32 },
+    /// `dst = new class`.
+    New { dst: Reg, class: ClassId },
+    /// `dst = obj.field`. Null `obj` is a runtime error.
+    GetField { dst: Reg, obj: Reg, field: FieldId },
+    /// `obj.field = src`. Null `obj` is a runtime error.
+    PutField { obj: Reg, field: FieldId, src: Reg },
+    /// `dst = global`.
+    GetGlobal { dst: Reg, global: GlobalId },
+    /// `global = src`.
+    PutGlobal { global: GlobalId, src: Reg },
+    /// `dst = new array[len]` (elements initialised to integer 0).
+    ArrNew { dst: Reg, len: Reg },
+    /// `dst = arr[idx]`. Out-of-bounds or null array is a runtime error.
+    ArrGet { dst: Reg, arr: Reg, idx: Reg },
+    /// `arr[idx] = src`. Out-of-bounds or null array is a runtime error.
+    ArrSet { arr: Reg, idx: Reg, src: Reg },
+    /// `dst = arr.length`.
+    ArrLen { dst: Reg, arr: Reg },
+    /// `dst = obj instanceof class` (1 or 0; null is 0). Respects subtyping.
+    InstanceOf { dst: Reg, obj: Reg, class: ClassId },
+    /// Unconditional jump to instruction index `target`.
+    Jump { target: u32 },
+    /// Conditional jump to `target` when `lhs cond rhs` holds.
+    Branch { cond: Cond, lhs: Reg, rhs: Reg, target: u32 },
+    /// Direct call of a static (class) method.
+    CallStatic {
+        /// Source-level call-site index within the enclosing method.
+        site: SiteIdx,
+        /// Destination for the return value, if used.
+        dst: Option<Reg>,
+        /// Statically-bound target.
+        callee: MethodId,
+        /// Argument registers (must match the callee's arity).
+        args: Vec<Reg>,
+    },
+    /// Virtual call: dispatch on the dynamic class of `recv`.
+    CallVirtual {
+        /// Source-level call-site index within the enclosing method.
+        site: SiteIdx,
+        /// Destination for the return value, if used.
+        dst: Option<Reg>,
+        /// Selector looked up against the receiver's class.
+        selector: SelectorId,
+        /// Receiver register (becomes callee register 0).
+        recv: Reg,
+        /// Additional argument registers.
+        args: Vec<Reg>,
+    },
+    /// Return from the method, optionally with a value.
+    Return { src: Option<Reg> },
+    /// Compiler-introduced class-test guard: continue in-line when the
+    /// dynamic class of `recv` is exactly `class`, otherwise jump to
+    /// `else_target` (the guarded-inline fallback path).
+    GuardClass { recv: Reg, class: ClassId, else_target: u32 },
+    /// Compiler-introduced method-test guard: continue in-line when virtual
+    /// dispatch of `selector` on `recv`'s dynamic class would select exactly
+    /// `target`, otherwise jump to `else_target`. Sound in the presence of
+    /// inherited (non-overridden) implementations, where a single exact
+    /// class test would spuriously fail.
+    GuardMethod { recv: Reg, selector: SelectorId, target: MethodId, else_target: u32 },
+}
+
+impl Instr {
+    /// Returns `true` for the call instructions ([`Instr::CallStatic`] and
+    /// [`Instr::CallVirtual`]).
+    pub fn is_call(&self) -> bool {
+        matches!(self, Instr::CallStatic { .. } | Instr::CallVirtual { .. })
+    }
+
+    /// Returns the call-site index if this is a call instruction.
+    pub fn call_site(&self) -> Option<SiteIdx> {
+        match self {
+            Instr::CallStatic { site, .. } | Instr::CallVirtual { site, .. } => Some(*site),
+            _ => None,
+        }
+    }
+
+    /// Returns the branch target if this instruction may transfer control
+    /// non-sequentially.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jump { target }
+            | Instr::Branch { target, .. }
+            | Instr::GuardClass { else_target: target, .. }
+            | Instr::GuardMethod { else_target: target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target through `f`, if the instruction has one.
+    /// Used by the builder's label fixups and by the optimizing compiler
+    /// when splicing and simplifying bodies.
+    pub fn map_branch_target(&mut self, f: impl FnOnce(u32) -> u32) {
+        match self {
+            Instr::Jump { target }
+            | Instr::Branch { target, .. }
+            | Instr::GuardClass { else_target: target, .. }
+            | Instr::GuardMethod { else_target: target, .. } => *target = f(*target),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_predicates() {
+        let c = Instr::CallStatic {
+            site: SiteIdx(3),
+            dst: None,
+            callee: MethodId(0),
+            args: vec![],
+        };
+        assert!(c.is_call());
+        assert_eq!(c.call_site(), Some(SiteIdx(3)));
+        let w = Instr::Work { units: 5 };
+        assert!(!w.is_call());
+        assert_eq!(w.call_site(), None);
+    }
+
+    #[test]
+    fn branch_targets() {
+        let j = Instr::Jump { target: 9 };
+        assert_eq!(j.branch_target(), Some(9));
+        let g = Instr::GuardClass {
+            recv: Reg(0),
+            class: ClassId(1),
+            else_target: 4,
+        };
+        assert_eq!(g.branch_target(), Some(4));
+        assert_eq!(Instr::Return { src: None }.branch_target(), None);
+    }
+
+    #[test]
+    fn map_branch_target_rewrites() {
+        let mut b = Instr::Branch {
+            cond: Cond::Lt,
+            lhs: Reg(0),
+            rhs: Reg(1),
+            target: 2,
+        };
+        b.map_branch_target(|t| t + 10);
+        assert_eq!(b.branch_target(), Some(12));
+    }
+
+    #[test]
+    fn cond_inverse_round_trips() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.inverse().inverse(), c);
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! Whole-program type inference and verification.
+//!
+//! The AOCI bytecode is untyped at the instruction level (like Java
+//! bytecode before verification). This module reconstructs types by
+//! **unification**: every register, method parameter, method return, field,
+//! global, selector slot and array-element position gets a type variable;
+//! instructions contribute equality and shape constraints; conflicts are
+//! reported with their location.
+//!
+//! Verification is flow-insensitive over value *shapes* (a register keeps
+//! one shape for the whole method body) plus a flow-sensitive
+//! **definite-assignment** analysis (every register is written on all paths
+//! before any read). Programs produced by the builders in this workspace
+//! are effectively SSA-like and verify cleanly; the pass exists to catch
+//! generator and compiler bugs early and to document the typing discipline
+//! the VM's runtime checks enforce dynamically.
+//!
+//! ## Guarantee and caveat
+//!
+//! For a program that verifies, no *register* use can fault with a type
+//! error or read an uninitialised register. Heap locations (fields, array
+//! elements, globals) are typed consistently across all reads and writes,
+//! but a read *before any write* observes the VM's default value (null /
+//! integer 0), which can still fault downstream; write-before-read
+//! discipline remains the program's responsibility.
+//!
+//! ```
+//! use aoci_ir::{typecheck, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let main = {
+//!     let mut m = b.static_method("main", 0);
+//!     let r = m.fresh_reg();
+//!     m.const_int(r, 1);
+//!     m.ret(Some(r));
+//!     m.finish()
+//! };
+//! let program = b.finish(main)?;
+//! typecheck::verify(&program)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::ids::{MethodId, Reg};
+use crate::instr::{Cond, Instr};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// A resolved value shape.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Shape {
+    /// 64-bit integer.
+    Int,
+    /// Reference to an object.
+    Obj,
+    /// Reference to an array (element shape may itself be unresolved).
+    Array,
+    /// Never constrained — the slot is unused.
+    Unknown,
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Shape::Int => "int",
+            Shape::Obj => "object",
+            Shape::Array => "array",
+            Shape::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A verification failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// Two incompatible shapes met in one equivalence class.
+    Mismatch {
+        /// Method containing the conflicting constraint.
+        method: MethodId,
+        /// Instruction index of the conflicting constraint.
+        at: usize,
+        /// Shape already established.
+        expected: Shape,
+        /// Shape the instruction required.
+        found: Shape,
+    },
+    /// A register may be read before it is written on some path.
+    MaybeUninitialised {
+        /// Method containing the use.
+        method: MethodId,
+        /// Instruction index of the use.
+        at: usize,
+        /// The offending register.
+        reg: Reg,
+    },
+    /// A method mixes `return` with and without a value.
+    InconsistentReturns {
+        /// The offending method.
+        method: MethodId,
+    },
+    /// A caller uses the return value of a method that never returns one.
+    VoidResultUsed {
+        /// Method containing the call.
+        method: MethodId,
+        /// Instruction index of the call.
+        at: usize,
+        /// The void callee.
+        callee: MethodId,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Mismatch { method, at, expected, found } => write!(
+                f,
+                "type mismatch in {method} at {at}: {expected} vs {found}"
+            ),
+            TypeError::MaybeUninitialised { method, at, reg } => write!(
+                f,
+                "register {reg} may be read before assignment in {method} at {at}"
+            ),
+            TypeError::InconsistentReturns { method } => {
+                write!(f, "method {method} mixes value and void returns")
+            }
+            TypeError::VoidResultUsed { method, at, callee } => write!(
+                f,
+                "call in {method} at {at} uses the result of void method {callee}"
+            ),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+/// Types inferred for a verified program.
+#[derive(Clone, Debug)]
+pub struct TypeReport {
+    /// Shape of each global variable.
+    pub globals: Vec<Shape>,
+    /// Shape of each field.
+    pub fields: Vec<Shape>,
+    /// Per method: parameter shapes (including the receiver for virtual
+    /// methods) and the return shape (`None` for void methods).
+    pub methods: Vec<(Vec<Shape>, Option<Shape>)>,
+}
+
+// ---------------------------------------------------------------------------
+// Union-find over shape variables.
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tag {
+    Int,
+    Obj,
+    /// Array whose element variable is the payload.
+    Array(u32),
+    /// Some reference (null literal) — compatible with Obj and Array.
+    AnyRef,
+}
+
+struct Table {
+    parent: Vec<u32>,
+    tag: Vec<Option<Tag>>,
+}
+
+impl Table {
+    fn new() -> Self {
+        Table { parent: Vec::new(), tag: Vec::new() }
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.tag.push(None);
+        id
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unifies two variables; on conflict returns the two irreconcilable
+    /// shapes.
+    fn unify(&mut self, a: u32, b: u32) -> Result<(), (Shape, Shape)> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(());
+        }
+        let merged = match (self.tag[ra as usize], self.tag[rb as usize]) {
+            (None, t) | (t, None) => t,
+            (Some(x), Some(y)) => Some(self.merge_tags(x, y).map_err(|e| e)?),
+        };
+        self.parent[rb as usize] = ra;
+        self.tag[ra as usize] = merged;
+        Ok(())
+    }
+
+    fn merge_tags(&mut self, x: Tag, y: Tag) -> Result<Tag, (Shape, Shape)> {
+        match (x, y) {
+            (Tag::Int, Tag::Int) => Ok(Tag::Int),
+            (Tag::Obj, Tag::Obj) => Ok(Tag::Obj),
+            (Tag::AnyRef, Tag::AnyRef) => Ok(Tag::AnyRef),
+            (Tag::AnyRef, t @ (Tag::Obj | Tag::Array(_)))
+            | (t @ (Tag::Obj | Tag::Array(_)), Tag::AnyRef) => Ok(t),
+            (Tag::Array(e1), Tag::Array(e2)) => {
+                self.unify(e1, e2)?;
+                Ok(Tag::Array(e1))
+            }
+            (a, b) => Err((tag_shape(a), tag_shape(b))),
+        }
+    }
+
+    /// Constrains a variable to a tag.
+    fn require(&mut self, v: u32, t: Tag) -> Result<(), (Shape, Shape)> {
+        let r = self.find(v);
+        match self.tag[r as usize] {
+            None => {
+                self.tag[r as usize] = Some(t);
+                Ok(())
+            }
+            Some(existing) => {
+                let merged = self.merge_tags(existing, t)?;
+                let r = self.find(v);
+                self.tag[r as usize] = Some(merged);
+                Ok(())
+            }
+        }
+    }
+
+    fn shape(&mut self, v: u32) -> Shape {
+        let r = self.find(v);
+        match self.tag[r as usize] {
+            None => Shape::Unknown,
+            Some(t) => tag_shape(t),
+        }
+    }
+}
+
+fn tag_shape(t: Tag) -> Shape {
+    match t {
+        Tag::Int => Shape::Int,
+        Tag::Obj => Shape::Obj,
+        Tag::Array(_) => Shape::Array,
+        Tag::AnyRef => Shape::Obj,
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+struct Checker<'p> {
+    program: &'p Program,
+    table: Table,
+    /// Register variables, per method: `reg_vars[m][r]`.
+    reg_vars: Vec<Vec<u32>>,
+    global_vars: Vec<u32>,
+    field_vars: Vec<u32>,
+    /// Return variable per method, plus whether it returns a value
+    /// (`None` = not yet known).
+    ret_vars: Vec<u32>,
+    returns_value: Vec<Option<bool>>,
+    /// Parameter + return variables per selector.
+    selector_param_vars: Vec<Vec<u32>>,
+    selector_ret_vars: Vec<u32>,
+}
+
+/// Infers and verifies types for the whole program.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found: a shape conflict, a possibly
+/// uninitialised register read, inconsistent returns, or use of a void
+/// result.
+pub fn verify(program: &Program) -> Result<TypeReport, TypeError> {
+    let mut table = Table::new();
+    let reg_vars: Vec<Vec<u32>> = program
+        .methods()
+        .map(|m| (0..m.num_regs()).map(|_| table.fresh()).collect())
+        .collect();
+    let global_vars: Vec<u32> = (0..program.num_globals()).map(|_| table.fresh()).collect();
+    let field_vars: Vec<u32> = (0..program.classes().map(|c| c.declared_fields().len()).sum())
+        .map(|_| table.fresh())
+        .collect();
+    let ret_vars: Vec<u32> = program.methods().map(|_| table.fresh()).collect();
+    let selector_param_vars: Vec<Vec<u32>> = (0..program.num_selectors())
+        .map(|s| {
+            let arity = program
+                .selector(crate::ids::SelectorId::from_index(s))
+                .arity();
+            (0..arity).map(|_| table.fresh()).collect()
+        })
+        .collect();
+    let selector_ret_vars: Vec<u32> =
+        (0..program.num_selectors()).map(|_| table.fresh()).collect();
+
+    // Per-method return discipline: all returns agree on value vs void.
+    let mut returns_value: Vec<Option<bool>> = vec![None; program.num_methods()];
+    for m in program.methods() {
+        for instr in m.body() {
+            if let Instr::Return { src } = instr {
+                let has = src.is_some();
+                match returns_value[m.id().index()] {
+                    None => returns_value[m.id().index()] = Some(has),
+                    Some(prev) if prev != has => {
+                        return Err(TypeError::InconsistentReturns { method: m.id() });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    let mut checker = Checker {
+        program,
+        table,
+        reg_vars,
+        global_vars,
+        field_vars,
+        ret_vars,
+        returns_value,
+        selector_param_vars,
+        selector_ret_vars,
+    };
+
+    // Receivers are objects; virtual methods agree with their selector.
+    for m in program.methods() {
+        if let crate::method::MethodKind::Virtual { selector, .. } = m.kind() {
+            let mid = m.id();
+            checker
+                .table
+                .require(checker.reg_vars[mid.index()][0], Tag::Obj)
+                .map_err(|(e, f)| mismatch(mid, 0, e, f))?;
+            for k in 0..m.arity() {
+                let pv = checker.reg_vars[mid.index()][(k + 1) as usize];
+                let sv = checker.selector_param_vars[selector.index()][k as usize];
+                checker
+                    .table
+                    .unify(pv, sv)
+                    .map_err(|(e, f)| mismatch(mid, 0, e, f))?;
+            }
+            checker
+                .table
+                .unify(checker.ret_vars[mid.index()], checker.selector_ret_vars[selector.index()])
+                .map_err(|(e, f)| mismatch(mid, 0, e, f))?;
+        }
+    }
+
+    for m in program.methods() {
+        checker.check_method(m.id())?;
+        definite_assignment(program, m.id())?;
+    }
+
+    // Void-result consistency: any call that captured a dst requires the
+    // callee to return a value.
+    for m in program.methods() {
+        for (at, instr) in m.body().iter().enumerate() {
+            if let Instr::CallStatic { dst: Some(_), callee, .. } = instr {
+                if checker.returns_value[callee.index()] == Some(false) {
+                    return Err(TypeError::VoidResultUsed { method: m.id(), at, callee: *callee });
+                }
+            }
+        }
+    }
+
+    let globals = checker
+        .global_vars
+        .clone()
+        .into_iter()
+        .map(|v| checker.table.shape(v))
+        .collect();
+    let fields = checker
+        .field_vars
+        .clone()
+        .into_iter()
+        .map(|v| checker.table.shape(v))
+        .collect();
+    let methods = program
+        .methods()
+        .map(|m| {
+            let params: Vec<Shape> = (0..m.total_args())
+                .map(|k| {
+                    let v = checker.reg_vars[m.id().index()][k as usize];
+                    checker.table.shape(v)
+                })
+                .collect();
+            let ret = if checker.returns_value[m.id().index()] == Some(true) {
+                let v = checker.ret_vars[m.id().index()];
+                Some(checker.table.shape(v))
+            } else {
+                None
+            };
+            (params, ret)
+        })
+        .collect();
+    Ok(TypeReport { globals, fields, methods })
+}
+
+fn mismatch(method: MethodId, at: usize, expected: Shape, found: Shape) -> TypeError {
+    TypeError::Mismatch { method, at, expected, found }
+}
+
+impl<'p> Checker<'p> {
+    fn rv(&self, m: MethodId, r: Reg) -> u32 {
+        self.reg_vars[m.index()][r.index()]
+    }
+
+    fn check_method(&mut self, mid: MethodId) -> Result<(), TypeError> {
+        let body: Vec<Instr> = self.program.method(mid).body().to_vec();
+        for (at, instr) in body.iter().enumerate() {
+            self.check_instr(mid, at, instr)
+                .map_err(|(e, f)| mismatch(mid, at, e, f))?;
+        }
+        Ok(())
+    }
+
+    fn check_instr(
+        &mut self,
+        m: MethodId,
+        at: usize,
+        instr: &Instr,
+    ) -> Result<(), (Shape, Shape)> {
+        match instr {
+            Instr::Const { dst, .. } => self.table.require(self.reg_vars[m.index()][dst.index()], Tag::Int),
+            Instr::ConstNull { dst } => {
+                self.table.require(self.reg_vars[m.index()][dst.index()], Tag::AnyRef)
+            }
+            Instr::Move { dst, src } => self.table.unify(self.rv(m, *dst), self.rv(m, *src)),
+            Instr::Bin { dst, lhs, rhs, .. } => {
+                self.table.require(self.rv(m, *dst), Tag::Int)?;
+                self.table.require(self.rv(m, *lhs), Tag::Int)?;
+                self.table.require(self.rv(m, *rhs), Tag::Int)
+            }
+            Instr::Work { .. } | Instr::Jump { .. } => Ok(()),
+            Instr::New { dst, .. } => self.table.require(self.rv(m, *dst), Tag::Obj),
+            Instr::GetField { dst, obj, field } => {
+                self.table.require(self.rv(m, *obj), Tag::Obj)?;
+                self.table.unify(self.rv(m, *dst), self.field_vars[field.index()])
+            }
+            Instr::PutField { obj, field, src } => {
+                self.table.require(self.rv(m, *obj), Tag::Obj)?;
+                self.table.unify(self.rv(m, *src), self.field_vars[field.index()])
+            }
+            Instr::GetGlobal { dst, global } => {
+                self.table.unify(self.rv(m, *dst), self.global_vars[global.index()])
+            }
+            Instr::PutGlobal { global, src } => {
+                self.table.unify(self.rv(m, *src), self.global_vars[global.index()])
+            }
+            Instr::ArrNew { dst, len } => {
+                self.table.require(self.rv(m, *len), Tag::Int)?;
+                let elem = self.table.fresh();
+                self.table.require(self.rv(m, *dst), Tag::Array(elem))
+            }
+            Instr::ArrGet { dst, arr, idx } => {
+                self.table.require(self.rv(m, *idx), Tag::Int)?;
+                let elem = self.table.fresh();
+                self.table.require(self.rv(m, *arr), Tag::Array(elem))?;
+                self.table.unify(self.rv(m, *dst), elem)
+            }
+            Instr::ArrSet { arr, idx, src } => {
+                self.table.require(self.rv(m, *idx), Tag::Int)?;
+                let elem = self.table.fresh();
+                self.table.require(self.rv(m, *arr), Tag::Array(elem))?;
+                self.table.unify(self.rv(m, *src), elem)
+            }
+            Instr::ArrLen { dst, arr } => {
+                let elem = self.table.fresh();
+                self.table.require(self.rv(m, *arr), Tag::Array(elem))?;
+                self.table.require(self.rv(m, *dst), Tag::Int)
+            }
+            Instr::InstanceOf { dst, obj, .. } => {
+                self.table.require(self.rv(m, *obj), Tag::AnyRef)?;
+                self.table.require(self.rv(m, *dst), Tag::Int)
+            }
+            Instr::Branch { cond, lhs, rhs, .. } => match cond {
+                Cond::Eq | Cond::Ne => self.table.unify(self.rv(m, *lhs), self.rv(m, *rhs)),
+                _ => {
+                    self.table.require(self.rv(m, *lhs), Tag::Int)?;
+                    self.table.require(self.rv(m, *rhs), Tag::Int)
+                }
+            },
+            Instr::CallStatic { dst, callee, args, .. } => {
+                let _ = at;
+                for (k, a) in args.iter().enumerate() {
+                    let pv = self.reg_vars[callee.index()][k];
+                    self.table.unify(self.reg_vars[m.index()][a.index()], pv)?;
+                }
+                if let Some(d) = dst {
+                    let rv = self.ret_vars[callee.index()];
+                    self.table.unify(self.reg_vars[m.index()][d.index()], rv)?;
+                }
+                Ok(())
+            }
+            Instr::CallVirtual { dst, selector, recv, args, .. } => {
+                self.table.require(self.rv(m, *recv), Tag::Obj)?;
+                for (k, a) in args.iter().enumerate() {
+                    let pv = self.selector_param_vars[selector.index()][k];
+                    self.table.unify(self.reg_vars[m.index()][a.index()], pv)?;
+                }
+                if let Some(d) = dst {
+                    let rv = self.selector_ret_vars[selector.index()];
+                    self.table.unify(self.reg_vars[m.index()][d.index()], rv)?;
+                }
+                Ok(())
+            }
+            Instr::Return { src } => {
+                if let Some(r) = src {
+                    self.table
+                        .unify(self.rv(m, *r), self.ret_vars[m.index()])?;
+                }
+                Ok(())
+            }
+            Instr::GuardClass { recv, .. } | Instr::GuardMethod { recv, .. } => {
+                self.table.require(self.rv(m, *recv), Tag::Obj)
+            }
+        }
+    }
+}
+
+/// Flow-sensitive definite assignment: every register is written on all
+/// paths before any read. Parameters count as written.
+fn definite_assignment(program: &Program, mid: MethodId) -> Result<(), TypeError> {
+    let m = program.method(mid);
+    let body = m.body();
+    let n = body.len();
+    let nregs = m.num_regs() as usize;
+    let params = m.total_args() as usize;
+
+    // defined[i] = set of registers definitely assigned at entry to i.
+    // Forward dataflow; meet = intersection; top (unvisited) = all-defined.
+    let full: Vec<bool> = vec![true; nregs];
+    let mut entry: Vec<Option<Vec<bool>>> = vec![None; n];
+    let mut start = vec![false; nregs];
+    for s in start.iter_mut().take(params) {
+        *s = true;
+    }
+    if n == 0 {
+        return Ok(());
+    }
+    entry[0] = Some(start);
+    let mut work = vec![0usize];
+    while let Some(i) = work.pop() {
+        let mut state = entry[i].clone().unwrap_or_else(|| full.clone());
+        // Uses must be defined.
+        let (uses, def) = uses_and_def(&body[i]);
+        for u in uses {
+            if !state[u.index()] {
+                return Err(TypeError::MaybeUninitialised { method: mid, at: i, reg: u });
+            }
+        }
+        if let Some(d) = def {
+            state[d.index()] = true;
+        }
+        for s in successors(&body[i], i, n) {
+            let merged = match &entry[s] {
+                None => state.clone(),
+                Some(prev) => prev
+                    .iter()
+                    .zip(state.iter())
+                    .map(|(&a, &b)| a && b)
+                    .collect(),
+            };
+            if entry[s].as_ref() != Some(&merged) {
+                entry[s] = Some(merged);
+                work.push(s);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn successors(instr: &Instr, i: usize, n: usize) -> Vec<usize> {
+    match instr {
+        Instr::Return { .. } => vec![],
+        Instr::Jump { target } => vec![*target as usize],
+        Instr::Branch { target, .. }
+        | Instr::GuardClass { else_target: target, .. }
+        | Instr::GuardMethod { else_target: target, .. } => {
+            let mut v = vec![*target as usize];
+            if i + 1 < n {
+                v.push(i + 1);
+            }
+            v
+        }
+        _ => {
+            if i + 1 < n {
+                vec![i + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+fn uses_and_def(instr: &Instr) -> (Vec<Reg>, Option<Reg>) {
+    match instr {
+        Instr::Const { dst, .. } | Instr::ConstNull { dst } => (vec![], Some(*dst)),
+        Instr::Move { dst, src } => (vec![*src], Some(*dst)),
+        Instr::Bin { dst, lhs, rhs, .. } => (vec![*lhs, *rhs], Some(*dst)),
+        Instr::Work { .. } | Instr::Jump { .. } => (vec![], None),
+        Instr::New { dst, .. } => (vec![], Some(*dst)),
+        Instr::GetField { dst, obj, .. } => (vec![*obj], Some(*dst)),
+        Instr::PutField { obj, src, .. } => (vec![*obj, *src], None),
+        Instr::GetGlobal { dst, .. } => (vec![], Some(*dst)),
+        Instr::PutGlobal { src, .. } => (vec![*src], None),
+        Instr::ArrNew { dst, len } => (vec![*len], Some(*dst)),
+        Instr::ArrGet { dst, arr, idx } => (vec![*arr, *idx], Some(*dst)),
+        Instr::ArrSet { arr, idx, src } => (vec![*arr, *idx, *src], None),
+        Instr::ArrLen { dst, arr } => (vec![*arr], Some(*dst)),
+        Instr::InstanceOf { dst, obj, .. } => (vec![*obj], Some(*dst)),
+        Instr::Branch { lhs, rhs, .. } => (vec![*lhs, *rhs], None),
+        Instr::CallStatic { dst, args, .. } => (args.clone(), *dst),
+        Instr::CallVirtual { dst, recv, args, .. } => {
+            let mut u = vec![*recv];
+            u.extend_from_slice(args);
+            (u, *dst)
+        }
+        Instr::Return { src } => (src.iter().copied().collect(), None),
+        Instr::GuardClass { recv, .. } | Instr::GuardMethod { recv, .. } => (vec![*recv], None),
+    }
+}
+
+#[cfg(test)]
+mod tests;

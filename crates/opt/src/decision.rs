@@ -1,0 +1,114 @@
+//! Compilation results: the optimized version plus the decision record.
+
+use aoci_ir::{CallSiteRef, MethodId};
+use aoci_vm::MethodVersion;
+use std::fmt;
+
+/// Why the compiler declined to inline a callee at a call site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RefusalReason {
+    /// The callee's size class is large — never inlined.
+    TooLarge,
+    /// The soft (or hard) inlining-depth budget was exhausted.
+    DepthExceeded,
+    /// The code-expansion budget was exhausted (or register space ran out).
+    ExpansionExceeded,
+    /// The callee is already on the current inline chain.
+    Recursive,
+    /// A medium-sized callee without profile support (medium methods are
+    /// candidates for profile-directed inlining only).
+    NotHot,
+    /// A hot guarded-inline candidate skipped because the per-site guard
+    /// limit was reached.
+    GuardLimit,
+}
+
+impl fmt::Display for RefusalReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RefusalReason::TooLarge => "callee too large",
+            RefusalReason::DepthExceeded => "inline depth exceeded",
+            RefusalReason::ExpansionExceeded => "code expansion exceeded",
+            RefusalReason::Recursive => "recursive inline",
+            RefusalReason::NotHot => "medium callee without profile support",
+            RefusalReason::GuardLimit => "per-site guarded-inline limit reached",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A declined inlining opportunity.
+///
+/// Hot refusals are recorded in the AOS database so the missing-edge
+/// organizer does not keep recommending recompilation for an edge the
+/// compiler will never inline (paper Section 3.2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Refusal {
+    /// The source-level call site.
+    pub site: CallSiteRef,
+    /// The callee that was not inlined.
+    pub callee: MethodId,
+    /// Why.
+    pub reason: RefusalReason,
+    /// Whether the profile supported inlining this edge (only hot refusals
+    /// matter to the missing-edge organizer).
+    pub hot: bool,
+}
+
+/// A performed inlining.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InlineDecision {
+    /// The compilation context at the decision point: the call site itself
+    /// first, then the inline chain outward to the method being compiled.
+    pub context: Vec<CallSiteRef>,
+    /// The inlined callee.
+    pub callee: MethodId,
+    /// Whether a method-test guard protects the inlined body.
+    pub guarded: bool,
+}
+
+/// The result of optimizing-compiling one method.
+#[derive(Clone, Debug)]
+pub struct Compilation {
+    /// The optimized code, ready to install.
+    pub version: MethodVersion,
+    /// Every inlining performed, in emission order.
+    pub decisions: Vec<InlineDecision>,
+    /// Every inlining declined.
+    pub refusals: Vec<Refusal>,
+    /// Abstract size of the generated code (drives compile-time cost and
+    /// the Figure 5 code-space metric).
+    pub generated_size: u32,
+}
+
+impl Compilation {
+    /// Convenience: the inlined callees, in order.
+    pub fn inlined_callees(&self) -> Vec<MethodId> {
+        self.decisions.iter().map(|d| d.callee).collect()
+    }
+
+    /// Convenience: whether `callee` was inlined anywhere in this
+    /// compilation.
+    pub fn inlined(&self, callee: MethodId) -> bool {
+        self.decisions.iter().any(|d| d.callee == callee)
+    }
+
+    /// Number of guarded inline bodies.
+    pub fn guarded_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.guarded).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refusal_reasons_display() {
+        assert_eq!(RefusalReason::TooLarge.to_string(), "callee too large");
+        assert_eq!(
+            RefusalReason::NotHot.to_string(),
+            "medium callee without profile support"
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! The recursive inliner: emits optimized code for one method, consulting
+//! the oracle at every call site with the current compilation context.
+
+use crate::config::OptConfig;
+use crate::decision::{Compilation, InlineDecision, Refusal, RefusalReason};
+use crate::simplify;
+use aoci_core::InlineOracle;
+use aoci_ir::{
+    size, CallSiteRef, Instr, MethodId, Program, Reg, SiteIdx, SizeClass,
+};
+use aoci_vm::{InlineMap, InlineNode, MethodVersion, OptLevel};
+
+/// Compiles `method` at the optimizing level, performing profile-directed,
+/// context-sensitive inlining as directed by `oracle`.
+///
+/// The returned [`Compilation`] carries the installable [`MethodVersion`]
+/// (with an inline map for source-level stack recovery), the record of every
+/// inlining performed, and every refusal (for the AOS database).
+pub fn compile(
+    program: &Program,
+    method: MethodId,
+    oracle: &InlineOracle,
+    config: &OptConfig,
+) -> Compilation {
+    let root_def = program.method(method);
+    let mut e = Emitter {
+        program,
+        oracle,
+        config,
+        root_size: root_def.size_estimate().max(32),
+        out: Vec::new(),
+        instr_nodes: Vec::new(),
+        nodes: vec![InlineNode { method, parent: None, body_start: 0 }],
+        next_reg: root_def.num_regs() as u32,
+        emitted_size: 0,
+        refusals: Vec::new(),
+        decisions: Vec::new(),
+    };
+    let mut stack = vec![method];
+    e.emit_body(method, 0, 0, RetMode::Root, &[], 0, &mut stack);
+    debug_assert_eq!(stack, vec![method]);
+
+    let Emitter { out, instr_nodes, mut nodes, next_reg, refusals, decisions, .. } = e;
+    let num_regs = u16::try_from(next_reg).expect("register budget enforced during emission");
+    let (body, instr_nodes) = if config.simplify {
+        simplify::simplify(out, instr_nodes, &mut nodes, num_regs)
+    } else {
+        (out, instr_nodes)
+    };
+    let generated_size = size::body_size(&body);
+    let version = MethodVersion {
+        method,
+        level: OptLevel::Optimized,
+        num_regs,
+        inline_map: InlineMap::from_parts(nodes, instr_nodes),
+        code_size: generated_size,
+        body,
+        version_id: 0,
+    };
+    Compilation { version, decisions, refusals, generated_size }
+}
+
+enum RetMode {
+    /// The root method: returns stay returns.
+    Root,
+    /// An inlined body: returns become moves to `dst` plus jumps to the end
+    /// of the expansion.
+    Inline { dst: Option<Reg> },
+}
+
+struct Emitter<'a> {
+    program: &'a Program,
+    oracle: &'a InlineOracle,
+    config: &'a OptConfig,
+    root_size: u32,
+    out: Vec<Instr>,
+    instr_nodes: Vec<u32>,
+    nodes: Vec<InlineNode>,
+    next_reg: u32,
+    emitted_size: u32,
+    refusals: Vec<Refusal>,
+    decisions: Vec<InlineDecision>,
+}
+
+/// Outcome of a per-callee inlining decision.
+enum Decision {
+    Inline,
+    Refuse(RefusalReason),
+}
+
+impl<'a> Emitter<'a> {
+    fn push(&mut self, node: u32, instr: Instr) -> usize {
+        self.emitted_size += size::instr_size(&instr);
+        self.out.push(instr);
+        self.instr_nodes.push(node);
+        self.out.len() - 1
+    }
+
+    /// Emits the (possibly recursively inlined) body of `method`.
+    ///
+    /// `chain` is the compilation context *outside* this body: for a call
+    /// site `s` inside it, the oracle context is `[(method, s)] ++ chain`.
+    /// Returns the indices of jumps that must be patched to the end of this
+    /// body's expansion (empty in [`RetMode::Root`]).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_body(
+        &mut self,
+        method: MethodId,
+        node: u32,
+        reg_base: u32,
+        ret: RetMode,
+        chain: &[CallSiteRef],
+        depth: u32,
+        stack: &mut Vec<MethodId>,
+    ) -> Vec<usize> {
+        let def = self.program.method(method);
+        let body: Vec<Instr> = def.body().to_vec();
+        let mut orig_to_new = vec![u32::MAX; body.len()];
+        let mut local_fixups: Vec<(usize, u32)> = Vec::new();
+        let mut end_jumps: Vec<usize> = Vec::new();
+
+        for (oi, instr) in body.iter().enumerate() {
+            orig_to_new[oi] = self.out.len() as u32;
+            match instr {
+                Instr::Jump { target } => {
+                    let at = self.push(node, Instr::Jump { target: u32::MAX });
+                    local_fixups.push((at, *target));
+                }
+                Instr::Branch { cond, lhs, rhs, target } => {
+                    let at = self.push(
+                        node,
+                        Instr::Branch {
+                            cond: *cond,
+                            lhs: shift(*lhs, reg_base),
+                            rhs: shift(*rhs, reg_base),
+                            target: u32::MAX,
+                        },
+                    );
+                    local_fixups.push((at, *target));
+                }
+                Instr::Return { src } => match &ret {
+                    RetMode::Root => {
+                        self.push(node, Instr::Return { src: src.map(|r| shift(r, reg_base)) });
+                    }
+                    RetMode::Inline { dst } => {
+                        if let (Some(d), Some(s)) = (dst, src) {
+                            self.push(node, Instr::Move { dst: *d, src: shift(*s, reg_base) });
+                        }
+                        let at = self.push(node, Instr::Jump { target: u32::MAX });
+                        end_jumps.push(at);
+                    }
+                },
+                Instr::CallStatic { site, dst, callee, args } => {
+                    let dst = dst.map(|d| shift(d, reg_base));
+                    let argv: Vec<Reg> = args.iter().map(|&a| shift(a, reg_base)).collect();
+                    self.handle_static_call(
+                        method, node, *site, dst, *callee, argv, chain, depth, stack,
+                    );
+                }
+                Instr::CallVirtual { site, dst, selector, recv, args } => {
+                    let dst = dst.map(|d| shift(d, reg_base));
+                    let recv = shift(*recv, reg_base);
+                    let argv: Vec<Reg> = args.iter().map(|&a| shift(a, reg_base)).collect();
+                    self.handle_virtual_call(
+                        method, node, *site, dst, *selector, recv, argv, chain, depth, stack,
+                    );
+                }
+                other => {
+                    self.push(node, shift_instr(other.clone(), reg_base));
+                }
+            }
+        }
+
+        for (at, orig_target) in local_fixups {
+            let new_target = orig_to_new[orig_target as usize];
+            debug_assert_ne!(new_target, u32::MAX);
+            self.out[at].map_branch_target(|_| new_target);
+        }
+        end_jumps
+    }
+
+    /// Decides whether `callee` may be inlined in context `ctx`.
+    fn decide(
+        &self,
+        callee: MethodId,
+        ctx: &[CallSiteRef],
+        depth: u32,
+        stack: &[MethodId],
+    ) -> (Decision, bool) {
+        let def = self.program.method(callee);
+        let hot = self.oracle.supports(ctx, callee);
+        let decision = (|| {
+            if stack.contains(&callee) {
+                return Decision::Refuse(RefusalReason::Recursive);
+            }
+            // Large is categorical: checked before any budget so the
+            // refusal reason reflects the size class.
+            if def.size_class() == SizeClass::Large {
+                return Decision::Refuse(RefusalReason::TooLarge);
+            }
+            if self.next_reg + def.num_regs() as u32 > u16::MAX as u32 {
+                return Decision::Refuse(RefusalReason::ExpansionExceeded);
+            }
+            if depth >= self.config.hard_inline_depth {
+                return Decision::Refuse(RefusalReason::DepthExceeded);
+            }
+            let hard_budget =
+                (self.config.hard_code_expansion * self.root_size as f64) as u32;
+            let grown = self.emitted_size.saturating_add(def.size_estimate());
+            if grown > hard_budget {
+                return Decision::Refuse(RefusalReason::ExpansionExceeded);
+            }
+            let within_soft_depth = depth < self.config.max_inline_depth;
+            let soft_budget =
+                (self.config.max_code_expansion * self.root_size as f64) as u32;
+            let within_soft_size = grown <= soft_budget;
+            match def.size_class() {
+                SizeClass::Large => unreachable!("handled above"),
+                SizeClass::Tiny => Decision::Inline,
+                SizeClass::Small => {
+                    if (within_soft_depth && within_soft_size) || hot {
+                        Decision::Inline
+                    } else if !within_soft_depth {
+                        Decision::Refuse(RefusalReason::DepthExceeded)
+                    } else {
+                        Decision::Refuse(RefusalReason::ExpansionExceeded)
+                    }
+                }
+                SizeClass::Medium => {
+                    if !hot {
+                        Decision::Refuse(RefusalReason::NotHot)
+                    } else if within_soft_depth && within_soft_size {
+                        Decision::Inline
+                    } else if !within_soft_depth {
+                        Decision::Refuse(RefusalReason::DepthExceeded)
+                    } else {
+                        Decision::Refuse(RefusalReason::ExpansionExceeded)
+                    }
+                }
+            }
+        })();
+        (decision, hot)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_static_call(
+        &mut self,
+        method: MethodId,
+        node: u32,
+        site: SiteIdx,
+        dst: Option<Reg>,
+        callee: MethodId,
+        args: Vec<Reg>,
+        chain: &[CallSiteRef],
+        depth: u32,
+        stack: &mut Vec<MethodId>,
+    ) {
+        let ctx = context(method, site, chain);
+        let (decision, hot) = self.decide(callee, &ctx, depth, stack);
+        match decision {
+            Decision::Inline => {
+                self.decisions.push(InlineDecision {
+                    context: ctx.clone(),
+                    callee,
+                    guarded: false,
+                });
+                let end_jumps = self.splice(node, site, callee, args, dst, &ctx, depth, stack);
+                let end = self.out.len() as u32;
+                for j in end_jumps {
+                    self.out[j].map_branch_target(|_| end);
+                }
+            }
+            Decision::Refuse(reason) => {
+                self.refusals.push(Refusal {
+                    site: CallSiteRef::new(method, site),
+                    callee,
+                    reason,
+                    hot,
+                });
+                self.push(node, Instr::CallStatic { site, dst, callee, args });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_virtual_call(
+        &mut self,
+        method: MethodId,
+        node: u32,
+        site: SiteIdx,
+        dst: Option<Reg>,
+        selector: aoci_ir::SelectorId,
+        recv: Reg,
+        args: Vec<Reg>,
+        chain: &[CallSiteRef],
+        depth: u32,
+        stack: &mut Vec<MethodId>,
+    ) {
+        let ctx = context(method, site, chain);
+        let impls = self.program.implementations(selector);
+
+        // Class hierarchy analysis: a unique implementation can be bound
+        // statically and inlined unguarded (pre-existence).
+        if let [only] = impls {
+            let only = *only;
+            let (decision, hot) = self.decide(only, &ctx, depth, stack);
+            match decision {
+                Decision::Inline => {
+                    self.decisions.push(InlineDecision {
+                        context: ctx.clone(),
+                        callee: only,
+                        guarded: false,
+                    });
+                    let mut argv = Vec::with_capacity(args.len() + 1);
+                    argv.push(recv);
+                    argv.extend_from_slice(&args);
+                    let end_jumps = self.splice(node, site, only, argv, dst, &ctx, depth, stack);
+                    let end = self.out.len() as u32;
+                    for j in end_jumps {
+                        self.out[j].map_branch_target(|_| end);
+                    }
+                }
+                Decision::Refuse(reason) => {
+                    self.refusals.push(Refusal {
+                        site: CallSiteRef::new(method, site),
+                        callee: only,
+                        reason,
+                        hot,
+                    });
+                    self.push(node, Instr::CallVirtual { site, dst, selector, recv, args });
+                }
+            }
+            return;
+        }
+
+        // Polymorphic: guarded inlining of profile-predicted targets.
+        let candidates = self.oracle.candidates(&ctx);
+        let mut to_inline: Vec<MethodId> = Vec::new();
+        for c in &candidates {
+            // Defensive: only genuine implementations of this selector.
+            if !impls.contains(&c.target) {
+                continue;
+            }
+            if to_inline.len() >= self.config.max_guarded_targets {
+                self.refusals.push(Refusal {
+                    site: CallSiteRef::new(method, site),
+                    callee: c.target,
+                    reason: RefusalReason::GuardLimit,
+                    hot: true,
+                });
+                continue;
+            }
+            match self.decide(c.target, &ctx, depth, stack) {
+                (Decision::Inline, _) => to_inline.push(c.target),
+                (Decision::Refuse(reason), hot) => self.refusals.push(Refusal {
+                    site: CallSiteRef::new(method, site),
+                    callee: c.target,
+                    reason,
+                    hot,
+                }),
+            }
+        }
+
+        if to_inline.is_empty() {
+            self.push(node, Instr::CallVirtual { site, dst, selector, recv, args });
+            return;
+        }
+
+        let mut all_end_jumps: Vec<usize> = Vec::new();
+        let mut pending_guard: Option<usize> = None;
+        for target in to_inline {
+            if let Some(g) = pending_guard.take() {
+                let here = self.out.len() as u32;
+                self.out[g].map_branch_target(|_| here);
+            }
+            let g = self.push(
+                node,
+                Instr::GuardMethod { recv, selector, target, else_target: u32::MAX },
+            );
+            pending_guard = Some(g);
+            self.decisions.push(InlineDecision {
+                context: ctx.clone(),
+                callee: target,
+                guarded: true,
+            });
+            let mut argv = Vec::with_capacity(args.len() + 1);
+            argv.push(recv);
+            argv.extend_from_slice(&args);
+            all_end_jumps.extend(self.splice(node, site, target, argv, dst, &ctx, depth, stack));
+            // Bodies cannot fall through (every path returns ⇒ jumps to
+            // end), so the next guard / fallback is reachable only via the
+            // guard's else edge.
+        }
+        // Fallback: the original virtual dispatch.
+        if let Some(g) = pending_guard.take() {
+            let here = self.out.len() as u32;
+            self.out[g].map_branch_target(|_| here);
+        }
+        self.push(node, Instr::CallVirtual { site, dst, selector, recv, args });
+        let end = self.out.len() as u32;
+        for j in all_end_jumps {
+            self.out[j].map_branch_target(|_| end);
+        }
+    }
+
+    /// Splices `target`'s body: argument moves into a fresh register window,
+    /// then the recursively-inlined body. Returns the end-jump fixups.
+    #[allow(clippy::too_many_arguments)]
+    fn splice(
+        &mut self,
+        parent_node: u32,
+        site: SiteIdx,
+        target: MethodId,
+        incoming: Vec<Reg>,
+        dst: Option<Reg>,
+        ctx: &[CallSiteRef],
+        depth: u32,
+        stack: &mut Vec<MethodId>,
+    ) -> Vec<usize> {
+        let child_def = self.program.method(target);
+        debug_assert_eq!(incoming.len(), child_def.total_args() as usize);
+        let child_base = self.next_reg;
+        self.next_reg += child_def.num_regs() as u32;
+        let child_node = self.nodes.len() as u32;
+        self.nodes.push(InlineNode {
+            method: target,
+            parent: Some((parent_node, site)),
+            body_start: self.out.len() as u32,
+        });
+        for (k, src) in incoming.into_iter().enumerate() {
+            self.push(
+                child_node,
+                Instr::Move { dst: Reg((child_base as usize + k) as u16), src },
+            );
+        }
+        stack.push(target);
+        let end_jumps = self.emit_body(
+            target,
+            child_node,
+            child_base,
+            RetMode::Inline { dst },
+            ctx,
+            depth + 1,
+            stack,
+        );
+        stack.pop();
+        end_jumps
+    }
+}
+
+fn shift(r: Reg, base: u32) -> Reg {
+    Reg((r.0 as u32 + base) as u16)
+}
+
+fn context(method: MethodId, site: SiteIdx, chain: &[CallSiteRef]) -> Vec<CallSiteRef> {
+    let mut ctx = Vec::with_capacity(chain.len() + 1);
+    ctx.push(CallSiteRef::new(method, site));
+    ctx.extend_from_slice(chain);
+    ctx
+}
+
+/// Shifts every register operand of a non-control instruction.
+fn shift_instr(instr: Instr, base: u32) -> Instr {
+    match instr {
+        Instr::Const { dst, value } => Instr::Const { dst: shift(dst, base), value },
+        Instr::ConstNull { dst } => Instr::ConstNull { dst: shift(dst, base) },
+        Instr::Move { dst, src } => Instr::Move { dst: shift(dst, base), src: shift(src, base) },
+        Instr::Bin { op, dst, lhs, rhs } => Instr::Bin {
+            op,
+            dst: shift(dst, base),
+            lhs: shift(lhs, base),
+            rhs: shift(rhs, base),
+        },
+        Instr::Work { units } => Instr::Work { units },
+        Instr::New { dst, class } => Instr::New { dst: shift(dst, base), class },
+        Instr::GetField { dst, obj, field } => Instr::GetField {
+            dst: shift(dst, base),
+            obj: shift(obj, base),
+            field,
+        },
+        Instr::PutField { obj, field, src } => Instr::PutField {
+            obj: shift(obj, base),
+            field,
+            src: shift(src, base),
+        },
+        Instr::GetGlobal { dst, global } => Instr::GetGlobal { dst: shift(dst, base), global },
+        Instr::PutGlobal { global, src } => Instr::PutGlobal { global, src: shift(src, base) },
+        Instr::ArrNew { dst, len } => Instr::ArrNew { dst: shift(dst, base), len: shift(len, base) },
+        Instr::ArrGet { dst, arr, idx } => Instr::ArrGet {
+            dst: shift(dst, base),
+            arr: shift(arr, base),
+            idx: shift(idx, base),
+        },
+        Instr::ArrSet { arr, idx, src } => Instr::ArrSet {
+            arr: shift(arr, base),
+            idx: shift(idx, base),
+            src: shift(src, base),
+        },
+        Instr::ArrLen { dst, arr } => Instr::ArrLen { dst: shift(dst, base), arr: shift(arr, base) },
+        Instr::InstanceOf { dst, obj, class } => Instr::InstanceOf {
+            dst: shift(dst, base),
+            obj: shift(obj, base),
+            class,
+        },
+        // Control flow and calls are handled by the emitter directly.
+        other => unreachable!("unexpected instruction in shift_instr: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,455 @@
+//! Post-inline simplification: constant folding, copy propagation, branch
+//! folding, dead-code elimination and unreachable-code removal.
+//!
+//! This pass supplies the *indirect* benefit of inlining the paper leans on:
+//! once a callee body sits inside its caller, argument-transfer moves become
+//! copies that propagate away, constant parameters fold through the body
+//! (the effect modelled by Jikes RVM's size-estimate adjustment, paper
+//! footnote 1), and the dead remainder disappears — shrinking both code
+//! space and execution cycles for real.
+//!
+//! The pass maintains the inline map: instruction→node assignments are
+//! filtered alongside the body and node `body_start` offsets are remapped.
+
+use aoci_ir::{BinOp, Cond, Instr, Reg};
+use aoci_vm::InlineNode;
+use std::collections::HashSet;
+
+/// Simplifies `body`, returning the new body and the filtered
+/// instruction→node map. `nodes` is updated in place (`body_start` remap).
+///
+/// Iterates folding + elimination to a fixpoint (bounded small number of
+/// rounds).
+pub fn simplify(
+    mut body: Vec<Instr>,
+    mut instr_node: Vec<u32>,
+    nodes: &mut Vec<InlineNode>,
+    num_regs: u16,
+) -> (Vec<Instr>, Vec<u32>) {
+    for _ in 0..4 {
+        let folded = fold_and_propagate(&mut body, num_regs);
+        let (nb, ni, eliminated) = eliminate(body, instr_node, nodes);
+        body = nb;
+        instr_node = ni;
+        if !folded && !eliminated {
+            break;
+        }
+    }
+    (body, instr_node)
+}
+
+/// Abstract register contents for the forward scan.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Abs {
+    Unknown,
+    Const(i64),
+    Null,
+    Copy(Reg),
+}
+
+/// Forward, straight-line constant/copy propagation. Lattice state resets at
+/// every branch target (join points); within a region the scan rewrites
+/// operands to copy roots, folds constant moves/arithmetic and folds
+/// decidable branches. Returns whether anything changed.
+fn fold_and_propagate(body: &mut [Instr], num_regs: u16) -> bool {
+    let leaders: HashSet<u32> = body.iter().filter_map(Instr::branch_target).collect();
+    let mut state = vec![Abs::Unknown; num_regs as usize];
+    // Redundant-load elimination: per region, the register known to hold
+    // each global's current value. Invalidated by stores to the global, by
+    // any call (callees may write globals), and by redefinition of the
+    // caching register.
+    let mut global_cache: std::collections::HashMap<aoci_ir::GlobalId, Reg> =
+        std::collections::HashMap::new();
+    let mut changed = false;
+
+    // Follows copy chains to the root register; bounded by register count.
+    fn root(state: &[Abs], r: Reg) -> Reg {
+        let mut cur = r;
+        for _ in 0..state.len() {
+            match state[cur.index()] {
+                Abs::Copy(next) => cur = next,
+                _ => break,
+            }
+        }
+        cur
+    }
+    fn value(state: &[Abs], r: Reg) -> Abs {
+        match state[root(state, r).index()] {
+            v @ (Abs::Const(_) | Abs::Null) => v,
+            _ => Abs::Unknown,
+        }
+    }
+
+    for i in 0..body.len() {
+        if leaders.contains(&(i as u32)) {
+            state.iter_mut().for_each(|s| *s = Abs::Unknown);
+            global_cache.clear();
+        }
+        // A repeated load of a still-cached global becomes a register copy
+        // (which the copy propagation below then usually erases entirely).
+        if let Instr::GetGlobal { dst, global } = body[i] {
+            if let Some(&cached) = global_cache.get(&global) {
+                if cached != dst {
+                    body[i] = Instr::Move { dst, src: cached };
+                    changed = true;
+                }
+            }
+        }
+        // Rewrite value uses to copy roots.
+        let rewrite = |state: &[Abs], r: &mut Reg, changed: &mut bool| {
+            let n = root(state, *r);
+            if n != *r {
+                *r = n;
+                *changed = true;
+            }
+        };
+        match &mut body[i] {
+            Instr::Move { src, .. } => rewrite(&state, src, &mut changed),
+            Instr::Bin { lhs, rhs, .. } => {
+                rewrite(&state, lhs, &mut changed);
+                rewrite(&state, rhs, &mut changed);
+            }
+            Instr::Branch { lhs, rhs, .. } => {
+                rewrite(&state, lhs, &mut changed);
+                rewrite(&state, rhs, &mut changed);
+            }
+            Instr::GetField { obj, .. } => rewrite(&state, obj, &mut changed),
+            Instr::PutField { obj, src, .. } => {
+                rewrite(&state, obj, &mut changed);
+                rewrite(&state, src, &mut changed);
+            }
+            Instr::PutGlobal { src, .. } => rewrite(&state, src, &mut changed),
+            Instr::ArrNew { len, .. } => rewrite(&state, len, &mut changed),
+            Instr::ArrGet { arr, idx, .. } => {
+                rewrite(&state, arr, &mut changed);
+                rewrite(&state, idx, &mut changed);
+            }
+            Instr::ArrSet { arr, idx, src } => {
+                rewrite(&state, arr, &mut changed);
+                rewrite(&state, idx, &mut changed);
+                rewrite(&state, src, &mut changed);
+            }
+            Instr::ArrLen { arr, .. } => rewrite(&state, arr, &mut changed),
+            Instr::InstanceOf { obj, .. } => rewrite(&state, obj, &mut changed),
+            Instr::CallStatic { args, .. } => {
+                for a in args {
+                    rewrite(&state, a, &mut changed);
+                }
+            }
+            Instr::CallVirtual { recv, args, .. } => {
+                rewrite(&state, recv, &mut changed);
+                for a in args {
+                    rewrite(&state, a, &mut changed);
+                }
+            }
+            Instr::Return { src: Some(r) } => rewrite(&state, r, &mut changed),
+            Instr::GuardClass { recv, .. } | Instr::GuardMethod { recv, .. } => {
+                rewrite(&state, recv, &mut changed)
+            }
+            _ => {}
+        }
+
+        // Fold where operands are known.
+        let replacement = match &body[i] {
+            Instr::Move { dst, src } => match value(&state, *src) {
+                Abs::Const(v) => Some(Instr::Const { dst: *dst, value: v }),
+                Abs::Null => Some(Instr::ConstNull { dst: *dst }),
+                _ => None,
+            },
+            Instr::Bin { op, dst, lhs, rhs } => {
+                match (value(&state, *lhs), value(&state, *rhs)) {
+                    (Abs::Const(a), Abs::Const(b)) => {
+                        fold_bin(*op, a, b).map(|v| Instr::Const { dst: *dst, value: v })
+                    }
+                    _ => None,
+                }
+            }
+            Instr::Branch { cond, lhs, rhs, target } => {
+                match (value(&state, *lhs), value(&state, *rhs)) {
+                    (Abs::Const(a), Abs::Const(b)) => Some(if eval_cond(*cond, a, b) {
+                        Instr::Jump { target: *target }
+                    } else {
+                        Instr::Work { units: 0 }
+                    }),
+                    // `null eq null` / `null ne null` are decidable; the
+                    // ordered comparisons on null fault at runtime and must
+                    // be preserved.
+                    (Abs::Null, Abs::Null) => match cond {
+                        Cond::Eq => Some(Instr::Jump { target: *target }),
+                        Cond::Ne => Some(Instr::Work { units: 0 }),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            if body[i] != r {
+                body[i] = r;
+                changed = true;
+            }
+        }
+
+        // Transfer function: update the lattice for the definition.
+        let def_update: Option<(Reg, Abs)> = match &body[i] {
+            Instr::Const { dst, value } => Some((*dst, Abs::Const(*value))),
+            Instr::ConstNull { dst } => Some((*dst, Abs::Null)),
+            Instr::Move { dst, src } => {
+                let r = root(&state, *src);
+                let v = if r == *dst { Abs::Unknown } else { Abs::Copy(r) };
+                Some((*dst, v))
+            }
+            Instr::Bin { dst, .. }
+            | Instr::New { dst, .. }
+            | Instr::GetField { dst, .. }
+            | Instr::GetGlobal { dst, .. }
+            | Instr::ArrNew { dst, .. }
+            | Instr::ArrGet { dst, .. }
+            | Instr::ArrLen { dst, .. }
+            | Instr::InstanceOf { dst, .. } => Some((*dst, Abs::Unknown)),
+            Instr::CallStatic { dst, .. } | Instr::CallVirtual { dst, .. } => {
+                dst.map(|d| (d, Abs::Unknown))
+            }
+            _ => None,
+        };
+        if let Some((dst, v)) = def_update {
+            // Registers recorded as copies of `dst` lose their backing.
+            for s in state.iter_mut() {
+                if *s == Abs::Copy(dst) {
+                    *s = Abs::Unknown;
+                }
+            }
+            state[dst.index()] = v;
+            // Cached globals held in `dst` are no longer valid.
+            global_cache.retain(|_, &mut r| r != dst);
+        }
+
+        // Maintain the global cache.
+        match &body[i] {
+            Instr::GetGlobal { dst, global } => {
+                global_cache.insert(*global, *dst);
+            }
+            Instr::PutGlobal { global, src } => {
+                global_cache.insert(*global, *src);
+            }
+            // Calls may store to any global in the callee.
+            Instr::CallStatic { .. } | Instr::CallVirtual { .. } => global_cache.clear(),
+            _ => {}
+        }
+    }
+    changed
+}
+
+fn fold_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None; // preserve the fault
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+    })
+}
+
+fn eval_cond(cond: Cond, a: i64, b: i64) -> bool {
+    match cond {
+        Cond::Eq => a == b,
+        Cond::Ne => a != b,
+        Cond::Lt => a < b,
+        Cond::Le => a <= b,
+        Cond::Gt => a > b,
+        Cond::Ge => a >= b,
+    }
+}
+
+/// Dead-code + unreachable-code elimination with a full liveness analysis.
+/// Returns the filtered body, filtered instruction→node map, and whether
+/// anything was removed. Branch targets and node `body_start`s are remapped.
+fn eliminate(
+    body: Vec<Instr>,
+    instr_node: Vec<u32>,
+    nodes: &mut Vec<InlineNode>,
+) -> (Vec<Instr>, Vec<u32>, bool) {
+    let n = body.len();
+    if n == 0 {
+        return (body, instr_node, false);
+    }
+
+    // Reachability from instruction 0.
+    let mut reach = vec![false; n];
+    let mut work = vec![0usize];
+    while let Some(i) = work.pop() {
+        if reach[i] {
+            continue;
+        }
+        reach[i] = true;
+        for s in successors(&body[i], i, n) {
+            if !reach[s] {
+                work.push(s);
+            }
+        }
+    }
+
+    // Liveness (backwards fixpoint over reachable instructions).
+    let mut live_in: Vec<HashSet<Reg>> = vec![HashSet::new(); n];
+    loop {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            if !reach[i] {
+                continue;
+            }
+            let mut out: HashSet<Reg> = HashSet::new();
+            for s in successors(&body[i], i, n) {
+                out.extend(live_in[s].iter().copied());
+            }
+            let (uses, def) = uses_and_def(&body[i]);
+            if let Some(d) = def {
+                out.remove(&d);
+            }
+            out.extend(uses);
+            if out != live_in[i] {
+                live_in[i] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let live_out_contains = |i: usize, r: Reg| -> bool {
+        successors(&body[i], i, n)
+            .iter()
+            .any(|&s| live_in[s].contains(&r))
+    };
+
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        if !reach[i] {
+            keep[i] = false;
+            continue;
+        }
+        match &body[i] {
+            Instr::Work { units: 0 } => keep[i] = false,
+            Instr::Jump { target } => {
+                if *target as usize == i + 1 {
+                    keep[i] = false;
+                }
+            }
+            Instr::Move { dst, src } if dst == src => keep[i] = false,
+            // Only instructions that can never fault are removable when
+            // dead. `Bin` is NOT among them: the IR is untyped, so even an
+            // `add` faults on a null operand, and removing a dead one would
+            // change observable behaviour. Constant folding turns decidable
+            // `Bin`s into `Const`s, which then die here safely.
+            Instr::Const { dst, .. }
+            | Instr::ConstNull { dst }
+            | Instr::Move { dst, .. }
+            | Instr::GetGlobal { dst, .. }
+            | Instr::InstanceOf { dst, .. } => {
+                if !live_out_contains(i, *dst) {
+                    keep[i] = false;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let removed = keep.iter().any(|k| !k);
+    if !removed {
+        return (body, instr_node, false);
+    }
+
+    // Prefix-sum remap: new index of the first kept instruction ≥ old index.
+    let mut new_index = vec![0u32; n + 1];
+    let mut acc = 0u32;
+    for i in 0..n {
+        new_index[i] = acc;
+        if keep[i] {
+            acc += 1;
+        }
+    }
+    new_index[n] = acc;
+
+    let mut new_body = Vec::with_capacity(acc as usize);
+    let mut new_nodes_map = Vec::with_capacity(acc as usize);
+    for (i, (mut instr, node)) in body.into_iter().zip(instr_node).enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        instr.map_branch_target(|t| new_index[t as usize]);
+        new_body.push(instr);
+        new_nodes_map.push(node);
+    }
+    for node in nodes.iter_mut() {
+        node.body_start = new_index[(node.body_start as usize).min(n)];
+    }
+    (new_body, new_nodes_map, true)
+}
+
+fn successors(instr: &Instr, i: usize, n: usize) -> Vec<usize> {
+    match instr {
+        Instr::Return { .. } => vec![],
+        Instr::Jump { target } => vec![*target as usize],
+        Instr::Branch { target, .. }
+        | Instr::GuardClass { else_target: target, .. }
+        | Instr::GuardMethod { else_target: target, .. } => {
+            let mut v = vec![*target as usize];
+            if i + 1 < n {
+                v.push(i + 1);
+            }
+            v
+        }
+        _ => {
+            if i + 1 < n {
+                vec![i + 1]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+/// Register uses and (single) definition of an instruction.
+fn uses_and_def(instr: &Instr) -> (Vec<Reg>, Option<Reg>) {
+    match instr {
+        Instr::Const { dst, .. } | Instr::ConstNull { dst } => (vec![], Some(*dst)),
+        Instr::Move { dst, src } => (vec![*src], Some(*dst)),
+        Instr::Bin { dst, lhs, rhs, .. } => (vec![*lhs, *rhs], Some(*dst)),
+        Instr::Work { .. } | Instr::Jump { .. } => (vec![], None),
+        Instr::New { dst, .. } => (vec![], Some(*dst)),
+        Instr::GetField { dst, obj, .. } => (vec![*obj], Some(*dst)),
+        Instr::PutField { obj, src, .. } => (vec![*obj, *src], None),
+        Instr::GetGlobal { dst, .. } => (vec![], Some(*dst)),
+        Instr::PutGlobal { src, .. } => (vec![*src], None),
+        Instr::ArrNew { dst, len } => (vec![*len], Some(*dst)),
+        Instr::ArrGet { dst, arr, idx } => (vec![*arr, *idx], Some(*dst)),
+        Instr::ArrSet { arr, idx, src } => (vec![*arr, *idx, *src], None),
+        Instr::ArrLen { dst, arr } => (vec![*arr], Some(*dst)),
+        Instr::InstanceOf { dst, obj, .. } => (vec![*obj], Some(*dst)),
+        Instr::Branch { lhs, rhs, .. } => (vec![*lhs, *rhs], None),
+        Instr::CallStatic { dst, args, .. } => (args.clone(), *dst),
+        Instr::CallVirtual { dst, recv, args, .. } => {
+            let mut u = vec![*recv];
+            u.extend_from_slice(args);
+            (u, *dst)
+        }
+        Instr::Return { src } => (src.iter().copied().collect(), None),
+        Instr::GuardClass { recv, .. } | Instr::GuardMethod { recv, .. } => (vec![*recv], None),
+    }
+}
+
+#[cfg(test)]
+mod tests;

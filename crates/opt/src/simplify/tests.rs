@@ -1,0 +1,252 @@
+use super::*;
+use aoci_ir::MethodId;
+
+fn nodes_for(method_index: usize) -> Vec<InlineNode> {
+    vec![InlineNode { method: MethodId::from_index(method_index), parent: None, body_start: 0 }]
+}
+
+fn run(body: Vec<Instr>, num_regs: u16) -> Vec<Instr> {
+    let instr_node = vec![0; body.len()];
+    let mut nodes = nodes_for(0);
+    let (b, n) = simplify(body, instr_node, &mut nodes, num_regs);
+    assert_eq!(b.len(), n.len(), "instr/node maps stay parallel");
+    b
+}
+
+fn r(i: u16) -> Reg {
+    Reg(i)
+}
+
+#[test]
+fn folds_constant_arithmetic() {
+    let body = vec![
+        Instr::Const { dst: r(0), value: 20 },
+        Instr::Const { dst: r(1), value: 22 },
+        Instr::Bin { op: BinOp::Add, dst: r(2), lhs: r(0), rhs: r(1) },
+        Instr::Return { src: Some(r(2)) },
+    ];
+    let out = run(body, 3);
+    // r0/r1 defs become dead once the add folds.
+    assert_eq!(
+        out,
+        vec![
+            Instr::Const { dst: r(2), value: 42 },
+            Instr::Return { src: Some(r(2)) },
+        ]
+    );
+}
+
+#[test]
+fn copy_propagation_removes_argument_moves() {
+    // Simulates an inlined body: move arg, use it once.
+    let body = vec![
+        Instr::Const { dst: r(0), value: 5 },
+        Instr::Move { dst: r(1), src: r(0) }, // arg transfer
+        Instr::Bin { op: BinOp::Mul, dst: r(2), lhs: r(1), rhs: r(1) },
+        Instr::Return { src: Some(r(2)) },
+    ];
+    let out = run(body, 3);
+    assert_eq!(
+        out,
+        vec![
+            Instr::Const { dst: r(2), value: 25 },
+            Instr::Return { src: Some(r(2)) },
+        ]
+    );
+}
+
+#[test]
+fn preserves_division_faults() {
+    let body = vec![
+        Instr::Const { dst: r(0), value: 1 },
+        Instr::Const { dst: r(1), value: 0 },
+        Instr::Bin { op: BinOp::Div, dst: r(2), lhs: r(0), rhs: r(1) },
+        Instr::Return { src: None },
+    ];
+    let out = run(body, 3);
+    // The faulting divide must survive even though its result is dead.
+    assert!(out
+        .iter()
+        .any(|i| matches!(i, Instr::Bin { op: BinOp::Div, .. })));
+}
+
+#[test]
+fn folds_decidable_branches_and_drops_unreachable() {
+    let body = vec![
+        Instr::Const { dst: r(0), value: 1 },
+        Instr::Const { dst: r(1), value: 2 },
+        Instr::Branch { cond: Cond::Lt, lhs: r(0), rhs: r(1), target: 4 }, // always taken
+        Instr::Work { units: 999 },                                       // unreachable
+        Instr::Return { src: None },
+    ];
+    let out = run(body, 2);
+    assert!(!out.iter().any(|i| matches!(i, Instr::Work { units: 999 })));
+    assert_eq!(out.last(), Some(&Instr::Return { src: None }));
+}
+
+#[test]
+fn removes_jump_to_next() {
+    let body = vec![
+        Instr::Jump { target: 1 },
+        Instr::Return { src: None },
+    ];
+    let out = run(body, 0);
+    assert_eq!(out, vec![Instr::Return { src: None }]);
+}
+
+#[test]
+fn keeps_loop_carried_registers() {
+    // r0 is live around the backedge; nothing may be removed.
+    let body = vec![
+        Instr::Const { dst: r(0), value: 10 },
+        Instr::Const { dst: r(1), value: 1 },
+        // L2: r0 = r0 - r1 ; if r0 > r1 jump L2
+        Instr::Bin { op: BinOp::Sub, dst: r(0), lhs: r(0), rhs: r(1) },
+        Instr::Branch { cond: Cond::Gt, lhs: r(0), rhs: r(1), target: 2 },
+        Instr::Return { src: Some(r(0)) },
+    ];
+    let out = run(body.clone(), 2);
+    assert_eq!(out, body);
+}
+
+#[test]
+fn state_resets_at_join_points() {
+    // r0 is 1 on the fall-through path but 2 via the branch; the use at the
+    // join must not be folded. The branch operand comes from a global so
+    // the branch itself is not decidable.
+    let body = vec![
+        Instr::GetGlobal { dst: r(1), global: aoci_ir::GlobalId::from_index(0) },
+        Instr::Branch { cond: Cond::Eq, lhs: r(1), rhs: r(1), target: 4 },
+        Instr::Const { dst: r(0), value: 1 },
+        Instr::Jump { target: 5 },
+        Instr::Const { dst: r(0), value: 2 }, // branch target (leader)
+        Instr::Return { src: Some(r(0)) },    // join target (leader)
+    ];
+    let out = run(body, 2);
+    // Return of r0 must still read a register, not be constant-folded away.
+    assert!(matches!(out.last(), Some(Instr::Return { src: Some(_) })));
+    // Both Const{r0} definitions must survive (each feeds the join).
+    let consts: Vec<_> = out
+        .iter()
+        .filter(|i| matches!(i, Instr::Const { dst, .. } if *dst == r(0)))
+        .collect();
+    assert_eq!(consts.len(), 2);
+}
+
+#[test]
+fn remaps_node_body_starts() {
+    let body = vec![
+        Instr::Const { dst: r(0), value: 1 }, // dead
+        Instr::Const { dst: r(1), value: 2 },
+        Instr::Return { src: Some(r(1)) },
+    ];
+    let instr_node = vec![0, 1, 0];
+    let mut nodes = vec![
+        InlineNode { method: MethodId::from_index(0), parent: None, body_start: 0 },
+        InlineNode {
+            method: MethodId::from_index(1),
+            parent: Some((0, aoci_ir::SiteIdx(0))),
+            body_start: 1,
+        },
+    ];
+    let (b, n) = simplify(body, instr_node, &mut nodes, 2);
+    assert_eq!(b.len(), 2);
+    assert_eq!(n, vec![1, 0]);
+    // The inlined node's body now starts at index 0.
+    assert_eq!(nodes[1].body_start, 0);
+}
+
+#[test]
+fn empty_body_is_noop() {
+    let (b, n) = simplify(Vec::new(), Vec::new(), &mut nodes_for(0), 0);
+    assert!(b.is_empty());
+    assert!(n.is_empty());
+}
+
+#[test]
+fn self_move_is_removed() {
+    let body = vec![
+        Instr::Const { dst: r(0), value: 3 },
+        Instr::Move { dst: r(0), src: r(0) },
+        Instr::Return { src: Some(r(0)) },
+    ];
+    let out = run(body, 1);
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn redundant_global_loads_collapse() {
+    let g = aoci_ir::GlobalId::from_index(0);
+    let body = vec![
+        Instr::GetGlobal { dst: r(0), global: g },
+        Instr::GetGlobal { dst: r(1), global: g }, // redundant reload
+        Instr::Bin { op: BinOp::Add, dst: r(2), lhs: r(0), rhs: r(1) },
+        Instr::Return { src: Some(r(2)) },
+    ];
+    let out = run(body, 3);
+    // The second load becomes a copy of r0, copy-propagates into the add
+    // and dies.
+    assert_eq!(
+        out.iter()
+            .filter(|i| matches!(i, Instr::GetGlobal { .. }))
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn calls_invalidate_the_global_cache() {
+    let g = aoci_ir::GlobalId::from_index(0);
+    let body = vec![
+        Instr::GetGlobal { dst: r(0), global: g },
+        Instr::CallStatic {
+            site: aoci_ir::SiteIdx(0),
+            dst: None,
+            callee: MethodId::from_index(0),
+            args: vec![],
+        },
+        Instr::GetGlobal { dst: r(1), global: g }, // NOT redundant: the call may store
+        Instr::Bin { op: BinOp::Add, dst: r(2), lhs: r(0), rhs: r(1) },
+        Instr::Return { src: Some(r(2)) },
+    ];
+    let out = run(body, 3);
+    assert_eq!(
+        out.iter()
+            .filter(|i| matches!(i, Instr::GetGlobal { .. }))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn stores_update_the_global_cache() {
+    let g = aoci_ir::GlobalId::from_index(0);
+    let body = vec![
+        Instr::Const { dst: r(0), value: 9 },
+        Instr::PutGlobal { global: g, src: r(0) },
+        Instr::GetGlobal { dst: r(1), global: g }, // known: the just-stored value
+        Instr::Return { src: Some(r(1)) },
+    ];
+    let out = run(body, 2);
+    // The reload folds away entirely (store value forwarded).
+    assert!(!out.iter().any(|i| matches!(i, Instr::GetGlobal { .. })));
+}
+
+#[test]
+fn branch_targets_reset_the_global_cache() {
+    let g = aoci_ir::GlobalId::from_index(0);
+    let body = vec![
+        Instr::GetGlobal { dst: r(0), global: g },
+        Instr::Branch { cond: Cond::Eq, lhs: r(0), rhs: r(0), target: 2 },
+        Instr::GetGlobal { dst: r(1), global: g }, // leader: cache cleared
+        Instr::Bin { op: BinOp::Add, dst: r(2), lhs: r(0), rhs: r(1) },
+        Instr::Return { src: Some(r(2)) },
+    ];
+    let out = run(body, 3);
+    assert_eq!(
+        out.iter()
+            .filter(|i| matches!(i, Instr::GetGlobal { .. }))
+            .count(),
+        2
+    );
+}

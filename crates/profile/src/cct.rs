@@ -1,0 +1,298 @@
+//! A (partial) calling-context tree.
+//!
+//! The representation of Ammons, Ball and Larus (PLDI '97), built here by
+//! periodic stack sampling in the style of Arnold & Sweeney's approximate
+//! CCT construction (paper Section 6, related work): each sampled trace
+//! `⟨caller_n, …, caller_1, callee⟩` is attached below the synthetic root
+//! at its *outermost observed* frame, sharing prefixes with previously
+//! observed traces. Weights live on the leaf (full-context) nodes; interior
+//! nodes aggregate their subtree on demand.
+//!
+//! Compared to the paper's flat trace table, the CCT shares context
+//! prefixes (smaller for deep, redundant profiles) and supports subtree
+//! queries; both back the same [`ProfileStore`](crate::ProfileStore)
+//! interface.
+
+use crate::dcg::HotTrace;
+use crate::key::TraceKey;
+use crate::store::ProfileStore;
+use aoci_ir::{CallSiteRef, MethodId};
+use std::collections::HashMap;
+
+/// Edge label within the tree: the call-site step from a context node to a
+/// deeper one.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Step {
+    /// A ⟨caller, callsite⟩ context level.
+    Through(CallSiteRef),
+    /// The terminal step to the callee method.
+    Into(MethodId),
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    children: HashMap<Step, u32>,
+    /// Weight of traces terminating exactly here (leaf weight).
+    weight: f64,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node { children: HashMap::new(), weight: 0.0 }
+    }
+}
+
+/// The partial calling-context tree.
+#[derive(Clone, Debug)]
+pub struct CallingContextTree {
+    nodes: Vec<Node>,
+    total_weight: f64,
+    prune_epsilon: f64,
+    /// Distinct terminated traces (== number of nodes with weight > 0).
+    distinct: usize,
+}
+
+impl Default for CallingContextTree {
+    fn default() -> Self {
+        Self::new(0.01)
+    }
+}
+
+impl CallingContextTree {
+    /// Creates an empty tree; entries whose weight decays below
+    /// `prune_epsilon` are dropped.
+    pub fn new(prune_epsilon: f64) -> Self {
+        CallingContextTree {
+            nodes: vec![Node::new()],
+            total_weight: 0.0,
+            prune_epsilon,
+            distinct: 0,
+        }
+    }
+
+    /// Number of tree nodes (including the root and interior nodes).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn child(&mut self, node: u32, step: Step) -> u32 {
+        if let Some(&c) = self.nodes[node as usize].children.get(&step) {
+            return c;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::new());
+        self.nodes[node as usize].children.insert(step, id);
+        id
+    }
+
+    /// Walks the tree depth-first, reconstructing trace keys for weighted
+    /// nodes.
+    fn collect(
+        &self,
+        node: u32,
+        stack: &mut Vec<Step>,
+        out: &mut Vec<(TraceKey, f64)>,
+    ) {
+        let n = &self.nodes[node as usize];
+        if n.weight > 0.0 {
+            if let Some(key) = key_of(stack) {
+                out.push((key, n.weight));
+            }
+        }
+        for (&step, &c) in &n.children {
+            stack.push(step);
+            self.collect(c, stack, out);
+            stack.pop();
+        }
+    }
+}
+
+/// Reconstructs the trace key from a root-to-node step path. The path is
+/// outermost-first: context steps then the terminal callee step.
+fn key_of(path: &[Step]) -> Option<TraceKey> {
+    let (&last, rest) = path.split_last()?;
+    let callee = match last {
+        Step::Into(m) => m,
+        Step::Through(_) => return None, // interior node
+    };
+    let mut context: Vec<CallSiteRef> = rest
+        .iter()
+        .map(|s| match s {
+            Step::Through(cs) => *cs,
+            Step::Into(_) => unreachable!("Into steps are terminal"),
+        })
+        .collect();
+    if context.is_empty() {
+        return None; // traces need at least one caller level
+    }
+    context.reverse(); // innermost-first, as TraceKey expects
+    Some(TraceKey::new(callee, context))
+}
+
+impl ProfileStore for CallingContextTree {
+    fn record(&mut self, key: TraceKey, weight: f64) {
+        self.total_weight += weight;
+        // Attach below the root at the outermost observed caller.
+        let mut node = 0u32;
+        for cs in key.context().iter().rev() {
+            node = self.child(node, Step::Through(*cs));
+        }
+        node = self.child(node, Step::Into(key.callee()));
+        let leaf = &mut self.nodes[node as usize];
+        if leaf.weight == 0.0 {
+            self.distinct += 1;
+        }
+        leaf.weight += weight;
+    }
+
+    fn decay(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+        let mut new_total = 0.0;
+        let mut distinct = 0;
+        for n in &mut self.nodes {
+            n.weight *= factor;
+            if n.weight < self.prune_epsilon {
+                n.weight = 0.0;
+            } else {
+                new_total += n.weight;
+                distinct += 1;
+            }
+        }
+        self.total_weight = new_total;
+        self.distinct = distinct;
+        // Empty subtrees are left in place (they are cheap and likely to be
+        // repopulated); a full rebuild would also remap node ids.
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    fn len(&self) -> usize {
+        self.distinct
+    }
+
+    fn hot(&self, threshold_fraction: f64) -> Vec<HotTrace> {
+        if self.total_weight <= 0.0 {
+            return Vec::new();
+        }
+        let mut all = Vec::new();
+        self.collect(0, &mut Vec::new(), &mut all);
+        let mut v: Vec<HotTrace> = all
+            .into_iter()
+            .filter(|(_, w)| w / self.total_weight >= threshold_fraction)
+            .map(|(key, weight)| HotTrace {
+                fraction: weight / self.total_weight,
+                key,
+                weight,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .expect("weights are finite")
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        v
+    }
+
+    fn site_distribution(&self, site: CallSiteRef) -> HashMap<MethodId, f64> {
+        let mut out = HashMap::new();
+        let mut all = Vec::new();
+        self.collect(0, &mut Vec::new(), &mut all);
+        for (key, w) in all {
+            if key.immediate_caller() == site {
+                *out.entry(key.callee()).or_insert(0.0) += w;
+            }
+        }
+        out
+    }
+
+    fn entries(&self) -> Vec<(TraceKey, f64)> {
+        let mut all = Vec::new();
+        self.collect(0, &mut Vec::new(), &mut all);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_ir::SiteIdx;
+
+    fn cs(m: usize, s: u16) -> CallSiteRef {
+        CallSiteRef::new(MethodId::from_index(m), SiteIdx(s))
+    }
+
+    fn mid(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+
+    #[test]
+    fn records_and_reconstructs_traces() {
+        let mut t = CallingContextTree::default();
+        let key = TraceKey::new(mid(9), vec![cs(1, 0), cs(2, 1)]);
+        t.record(key.clone(), 3.0);
+        t.record(key.clone(), 2.0);
+        let entries = t.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, key);
+        assert!((entries[0].1 - 5.0).abs() < 1e-12);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn prefix_sharing_reduces_nodes() {
+        let mut t = CallingContextTree::default();
+        // Two traces sharing the outer context (cs(3,0) ⇒ cs(2,1) prefix).
+        t.record(TraceKey::new(mid(8), vec![cs(1, 0), cs(2, 1), cs(3, 0)]), 1.0);
+        t.record(TraceKey::new(mid(9), vec![cs(1, 1), cs(2, 1), cs(3, 0)]), 1.0);
+        // Root + shared Through(3,0) + shared Through(2,1) + two divergent
+        // Through + two Into leaves = 7.
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn hot_matches_flat_dcg() {
+        let traces = [
+            (TraceKey::edge(cs(0, 0), mid(1)), 80.0),
+            (TraceKey::new(mid(2), vec![cs(0, 1), cs(4, 0)]), 19.0),
+            (TraceKey::edge(cs(0, 2), mid(3)), 1.0),
+        ];
+        let mut cct = CallingContextTree::default();
+        let mut dcg = crate::Dcg::default();
+        for (k, w) in &traces {
+            cct.record(k.clone(), *w);
+            ProfileStore::record(&mut dcg, k.clone(), *w);
+        }
+        let a = cct.hot(0.015);
+        let b = ProfileStore::hot(&dcg, 0.015);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.key, y.key);
+            assert!((x.weight - y.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decay_prunes_leaves() {
+        let mut t = CallingContextTree::new(0.3);
+        t.record(TraceKey::edge(cs(0, 0), mid(1)), 1.0);
+        t.record(TraceKey::edge(cs(0, 1), mid(2)), 0.5);
+        t.decay(0.5);
+        assert_eq!(t.len(), 1);
+        assert!((t.total_weight() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_distribution_aggregates_contexts() {
+        let mut t = CallingContextTree::default();
+        t.record(TraceKey::new(mid(1), vec![cs(0, 0), cs(7, 0)]), 2.0);
+        t.record(TraceKey::new(mid(1), vec![cs(0, 0), cs(8, 0)]), 3.0);
+        t.record(TraceKey::edge(cs(0, 0), mid(2)), 5.0);
+        let d = t.site_distribution(cs(0, 0));
+        assert!((d[&mid(1)] - 5.0).abs() < 1e-12);
+        assert!((d[&mid(2)] - 5.0).abs() < 1e-12);
+    }
+}

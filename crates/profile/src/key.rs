@@ -1,0 +1,159 @@
+//! Trace keys: the unit of profile data.
+
+use aoci_ir::{CallSiteRef, MethodId};
+use std::fmt;
+
+/// A call trace of the paper's Equation 2:
+/// `⟨caller_n, callsite_n, …, caller_1, callsite_1, callee⟩`.
+///
+/// The context is stored innermost-first: `context[0]` is the immediate
+/// caller edge (`caller_1, callsite_1`), matching the index convention of
+/// the paper's Equation 3 partial-match rule. Every trace has at least one
+/// context element; a length-1 context is a plain context-insensitive call
+/// edge (Equation 1).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TraceKey {
+    callee: MethodId,
+    context: Vec<CallSiteRef>,
+}
+
+impl TraceKey {
+    /// Creates a trace key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context` is empty — a trace needs at least the immediate
+    /// caller edge.
+    pub fn new(callee: MethodId, context: Vec<CallSiteRef>) -> Self {
+        assert!(!context.is_empty(), "a trace requires at least one context level");
+        TraceKey { callee, context }
+    }
+
+    /// Creates a length-1 (context-insensitive edge) key.
+    pub fn edge(caller: CallSiteRef, callee: MethodId) -> Self {
+        TraceKey { callee, context: vec![caller] }
+    }
+
+    /// The callee — the method whose invocation this trace describes.
+    pub fn callee(&self) -> MethodId {
+        self.callee
+    }
+
+    /// The calling context, innermost caller first.
+    pub fn context(&self) -> &[CallSiteRef] {
+        &self.context
+    }
+
+    /// The immediate caller edge (`context[0]`).
+    pub fn immediate_caller(&self) -> CallSiteRef {
+        self.context[0]
+    }
+
+    /// Number of context levels (≥ 1).
+    pub fn depth(&self) -> usize {
+        self.context.len()
+    }
+
+    /// Returns this trace truncated to its first `k` context levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`TraceKey::depth`].
+    pub fn prefix(&self, k: usize) -> TraceKey {
+        assert!(k >= 1 && k <= self.context.len(), "prefix length out of range");
+        TraceKey {
+            callee: self.callee,
+            context: self.context[..k].to_vec(),
+        }
+    }
+
+    /// Returns `true` if `self` and `other` describe the same callee and
+    /// their contexts agree on every level both have — the applicability
+    /// condition of the paper's Equation 3.
+    pub fn partial_matches(&self, other: &TraceKey) -> bool {
+        if self.callee != other.callee {
+            return false;
+        }
+        self.context
+            .iter()
+            .zip(other.context.iter())
+            .all(|(a, b)| a == b)
+    }
+
+    /// Returns `true` if `other`'s context is a (non-strict) prefix of
+    /// `self`'s and the callees agree.
+    pub fn extends(&self, other: &TraceKey) -> bool {
+        other.context.len() <= self.context.len() && self.partial_matches(other)
+    }
+}
+
+impl fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print outermost-first, the paper's A ⇒ B ⇒ C reading order.
+        for cs in self.context.iter().rev() {
+            write!(f, "{cs} => ")?;
+        }
+        write!(f, "{}", self.callee)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_ir::SiteIdx;
+
+    fn cs(m: usize, s: u16) -> CallSiteRef {
+        CallSiteRef::new(MethodId::from_index(m), SiteIdx(s))
+    }
+
+    fn mid(i: usize) -> MethodId {
+        MethodId::from_index(i)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one context level")]
+    fn empty_context_rejected() {
+        let _ = TraceKey::new(mid(0), vec![]);
+    }
+
+    #[test]
+    fn edge_is_depth_one() {
+        let k = TraceKey::edge(cs(1, 0), mid(2));
+        assert_eq!(k.depth(), 1);
+        assert_eq!(k.immediate_caller(), cs(1, 0));
+        assert_eq!(k.callee(), mid(2));
+    }
+
+    #[test]
+    fn prefix_truncates_outer_context() {
+        let k = TraceKey::new(mid(9), vec![cs(1, 0), cs(2, 1), cs(3, 2)]);
+        let p = k.prefix(2);
+        assert_eq!(p.context(), &[cs(1, 0), cs(2, 1)]);
+        assert_eq!(p.callee(), mid(9));
+    }
+
+    #[test]
+    fn partial_match_is_symmetric_on_shared_levels() {
+        let long = TraceKey::new(mid(9), vec![cs(1, 0), cs(2, 1), cs(3, 2)]);
+        let short = TraceKey::new(mid(9), vec![cs(1, 0)]);
+        assert!(long.partial_matches(&short));
+        assert!(short.partial_matches(&long));
+        assert!(long.extends(&short));
+        assert!(!short.extends(&long));
+    }
+
+    #[test]
+    fn partial_match_fails_on_divergence() {
+        let a = TraceKey::new(mid(9), vec![cs(1, 0), cs(2, 1)]);
+        let b = TraceKey::new(mid(9), vec![cs(1, 0), cs(5, 1)]);
+        assert!(!a.partial_matches(&b));
+        let c = TraceKey::new(mid(8), vec![cs(1, 0)]);
+        assert!(!a.partial_matches(&c));
+    }
+
+    #[test]
+    fn display_reads_outermost_first() {
+        let k = TraceKey::new(mid(9), vec![cs(1, 0), cs(2, 1)]);
+        assert_eq!(k.to_string(), "m2@1 => m1@0 => m9");
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline profile persistence.
+//!
+//! The paper's related-work section contrasts its online system with the
+//! classic offline pipeline: gather profile data in a training run, then
+//! feed it to the compiler for the production run. This module provides
+//! that pipeline for AOCI: a [`SavedProfile`] snapshots the trace profile
+//! of one run as JSON; a later run seeds its dynamic call graph with it and
+//! reaches good inlining decisions without a warm-up (see the
+//! `offline_profile` example).
+//!
+//! Saved profiles reference methods and call sites by raw index, so they
+//! are only meaningful for the *same program* (same builder inputs) that
+//! produced them.
+
+use crate::key::TraceKey;
+use aoci_ir::{CallSiteRef, MethodId, SiteIdx};
+use serde::{Deserialize, Serialize};
+
+/// One serialized trace: callee index, context as (method index, site)
+/// pairs innermost-first, and profile weight.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SavedTrace {
+    /// Callee method index.
+    pub callee: u32,
+    /// Context as `(method index, site index)` pairs, innermost caller
+    /// first.
+    pub context: Vec<(u32, u16)>,
+    /// Profile weight.
+    pub weight: f64,
+}
+
+/// A serializable snapshot of a trace profile.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SavedProfile {
+    /// The traces.
+    pub traces: Vec<SavedTrace>,
+}
+
+impl SavedProfile {
+    /// Snapshots `(trace, weight)` entries.
+    pub fn from_entries<'a>(entries: impl IntoIterator<Item = (&'a TraceKey, f64)>) -> Self {
+        let traces = entries
+            .into_iter()
+            .map(|(k, weight)| SavedTrace {
+                callee: k.callee().index() as u32,
+                context: k
+                    .context()
+                    .iter()
+                    .map(|cs| (cs.method.index() as u32, cs.site.0))
+                    .collect(),
+                weight,
+            })
+            .collect();
+        SavedProfile { traces }
+    }
+
+    /// Reconstructs `(trace, weight)` entries.
+    pub fn entries(&self) -> Vec<(TraceKey, f64)> {
+        self.traces
+            .iter()
+            .filter(|t| !t.context.is_empty())
+            .map(|t| {
+                let context = t
+                    .context
+                    .iter()
+                    .map(|&(m, s)| CallSiteRef::new(MethodId::from_index(m as usize), SiteIdx(s)))
+                    .collect();
+                (TraceKey::new(MethodId::from_index(t.callee as usize), context), t.weight)
+            })
+            .collect()
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` encoding failures (not expected for this
+    /// data shape).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed input.
+    pub fn from_json(s: &str) -> serde_json::Result<Self> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(m: usize, s: u16) -> CallSiteRef {
+        CallSiteRef::new(MethodId::from_index(m), SiteIdx(s))
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let k1 = TraceKey::edge(cs(0, 1), MethodId::from_index(5));
+        let k2 = TraceKey::new(MethodId::from_index(6), vec![cs(1, 0), cs(2, 3)]);
+        let saved = SavedProfile::from_entries([(&k1, 2.0), (&k2, 7.5)]);
+        let json = saved.to_json().unwrap();
+        let back = SavedProfile::from_json(&json).unwrap();
+        let entries = back.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|(k, w)| *k == k1 && (*w - 2.0).abs() < 1e-12));
+        assert!(entries.iter().any(|(k, w)| *k == k2 && (*w - 7.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped() {
+        let saved = SavedProfile {
+            traces: vec![SavedTrace { callee: 1, context: vec![], weight: 1.0 }],
+        };
+        assert!(saved.entries().is_empty());
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(SavedProfile::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Trace-walk statistics reproducing the measurements of paper Section 4.
+//!
+//! While exploring early-termination heuristics, the paper instrumented the
+//! trace listener and reported:
+//!
+//! * 20% of sampled callee methods are immediately parameterless;
+//! * 50–80% of sampled traces contain a parameterless call within five
+//!   levels of call stack;
+//! * in 50–80% of cases only two edges are traversed before the first class
+//!   (static) method call;
+//! * roughly half the time, four or more call edges must be traversed before
+//!   the first large method.
+//!
+//! [`TraceStatsCollector`] gathers the same quantities from stack snapshots.
+
+use aoci_ir::{MethodId, Program, SizeClass};
+use aoci_vm::StackSnapshot;
+
+/// Maximum depth tracked exactly; deeper occurrences land in the overflow
+/// bucket.
+const MAX_DEPTH: usize = 16;
+
+/// A small depth histogram: counts of "first occurrence at depth d".
+#[derive(Clone, Debug, Default)]
+pub struct DepthHistogram {
+    /// counts[d-1] = number of walks whose first occurrence was at depth d.
+    counts: [u64; MAX_DEPTH],
+    /// Walks where no occurrence was found within the walked stack.
+    not_found: u64,
+}
+
+impl DepthHistogram {
+    /// Records a first-occurrence depth (1-based), or `None` if not found.
+    pub fn record(&mut self, depth: Option<usize>) {
+        match depth {
+            Some(d) if d >= 1 => {
+                let idx = (d - 1).min(MAX_DEPTH - 1);
+                self.counts[idx] += 1;
+            }
+            _ => self.not_found += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.not_found
+    }
+
+    /// Fraction of observations whose first occurrence was at depth ≤ d.
+    pub fn fraction_within(&self, d: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n: u64 = self.counts.iter().take(d.min(MAX_DEPTH)).sum();
+        n as f64 / total as f64
+    }
+
+    /// Fraction of observations whose first occurrence was at depth ≥ d
+    /// (including not-found).
+    pub fn fraction_at_or_beyond(&self, d: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.fraction_within(d.saturating_sub(1))
+    }
+}
+
+/// Collects the Section 4 statistics from sampled stacks.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStatsCollector {
+    samples: u64,
+    immediately_parameterless: u64,
+    parameterless_depth: DepthHistogram,
+    class_method_depth: DepthHistogram,
+    large_method_depth: DepthHistogram,
+}
+
+impl TraceStatsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one (prologue) sample.
+    ///
+    /// Depth conventions match the paper's phrasing: the sampled callee is
+    /// depth 1, its caller depth 2, and so on. "Immediately parameterless"
+    /// means the callee itself takes no parameters.
+    pub fn observe(&mut self, snapshot: &StackSnapshot, program: &Program) {
+        let Some(callee) = snapshot.top_method() else {
+            return;
+        };
+        self.samples += 1;
+        if program.method(callee).is_parameterless() {
+            self.immediately_parameterless += 1;
+        }
+        let depth_of = |pred: &dyn Fn(MethodId) -> bool| {
+            snapshot
+                .frames
+                .iter()
+                .position(|f| pred(f.method))
+                .map(|i| i + 1)
+        };
+        self.parameterless_depth
+            .record(depth_of(&|m| program.method(m).is_parameterless()));
+        self.class_method_depth
+            .record(depth_of(&|m| program.method(m).kind().is_static()));
+        self.large_method_depth
+            .record(depth_of(&|m| program.method(m).size_class() == SizeClass::Large));
+    }
+
+    /// Total samples observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Produces the summary report.
+    pub fn report(&self) -> TraceStatsReport {
+        let frac = |n: u64| {
+            if self.samples == 0 {
+                0.0
+            } else {
+                n as f64 / self.samples as f64
+            }
+        };
+        TraceStatsReport {
+            samples: self.samples,
+            immediately_parameterless: frac(self.immediately_parameterless),
+            parameterless_within_5: self.parameterless_depth.fraction_within(5),
+            class_method_within_2: self.class_method_depth.fraction_within(2),
+            large_at_or_beyond_4: self.large_method_depth.fraction_at_or_beyond(4),
+        }
+    }
+
+    /// The histogram of first-parameterless-method depths.
+    pub fn parameterless_depths(&self) -> &DepthHistogram {
+        &self.parameterless_depth
+    }
+
+    /// The histogram of first-class-method depths.
+    pub fn class_method_depths(&self) -> &DepthHistogram {
+        &self.class_method_depth
+    }
+
+    /// The histogram of first-large-method depths.
+    pub fn large_method_depths(&self) -> &DepthHistogram {
+        &self.large_method_depth
+    }
+}
+
+/// Summary statistics corresponding to the paper's Section 4 numbers.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TraceStatsReport {
+    /// Samples observed.
+    pub samples: u64,
+    /// Fraction of samples whose callee takes no parameters (paper: ~20%).
+    pub immediately_parameterless: f64,
+    /// Fraction with a parameterless method within 5 stack levels
+    /// (paper: 50–80%).
+    pub parameterless_within_5: f64,
+    /// Fraction encountering a class (static) method within 2 levels
+    /// (paper: 50–80%).
+    pub class_method_within_2: f64,
+    /// Fraction needing 4 or more levels to reach a large method
+    /// (paper: ~50%).
+    pub large_at_or_beyond_4: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_ir::ProgramBuilder;
+    use aoci_vm::SourceFrame;
+
+    /// Builds a program with methods of known shapes:
+    /// index 0 = main (static, parameterless, tiny)
+    /// index 1 = static with 2 params, large body
+    /// index 2 = virtual, parameterless, medium body
+    fn program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let a = b.class("A", None);
+        let sel = b.selector("v", 0);
+        {
+            let mut m = b.static_method("big", 2);
+            m.work(500);
+            m.ret(None);
+            m.finish();
+        }
+        {
+            let mut m = b.virtual_method("A.v", a, sel);
+            m.work(100);
+            m.ret(None);
+            m.finish();
+        }
+        let main = {
+            let mut m = b.static_method("main", 0);
+            m.ret(None);
+            m.finish()
+        };
+        b.finish(main).unwrap()
+    }
+
+    fn snap(methods: &[&str], p: &Program) -> StackSnapshot {
+        let frames = methods
+            .iter()
+            .enumerate()
+            .map(|(i, name)| SourceFrame {
+                method: p.method_by_name(name).unwrap(),
+                callsite_to_inner: if i == 0 {
+                    None
+                } else {
+                    Some(aoci_ir::SiteIdx(0))
+                },
+            })
+            .collect();
+        StackSnapshot {
+            frames,
+            root_method: p.entry(),
+            top_in_prologue: true,
+            cycles: 0,
+        }
+    }
+
+    #[test]
+    fn classifies_immediate_parameterless() {
+        let p = program();
+        let mut c = TraceStatsCollector::new();
+        c.observe(&snap(&["A.v", "big", "main"], &p), &p); // A.v parameterless
+        c.observe(&snap(&["big", "main"], &p), &p); // big has params
+        let r = c.report();
+        assert_eq!(r.samples, 2);
+        assert!((r.immediately_parameterless - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_measurements() {
+        let p = program();
+        let mut c = TraceStatsCollector::new();
+        // Stack: big (depth1), A.v (2), main (3).
+        c.observe(&snap(&["big", "A.v", "main"], &p), &p);
+        // First parameterless = A.v at depth 2.
+        assert!(c.parameterless_depths().fraction_within(1) < 1e-12);
+        assert!((c.parameterless_depths().fraction_within(2) - 1.0).abs() < 1e-12);
+        // First class (static) method = big at depth 1.
+        assert!((c.class_method_depths().fraction_within(1) - 1.0).abs() < 1e-12);
+        // First large = big at depth 1 → not "at or beyond 4".
+        assert!(c.large_method_depths().fraction_at_or_beyond(4) < 1e-12);
+    }
+
+    #[test]
+    fn not_found_counts_as_beyond() {
+        let p = program();
+        let mut c = TraceStatsCollector::new();
+        // Stack of only tiny parameterless statics: no large method found.
+        c.observe(&snap(&["main"], &p), &p);
+        assert!((c.large_method_depths().fraction_at_or_beyond(4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = DepthHistogram::default();
+        h.record(Some(100)); // clamps to MAX_DEPTH bucket
+        h.record(Some(1));
+        h.record(None);
+        assert_eq!(h.total(), 3);
+        assert!((h.fraction_within(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h.fraction_within(MAX_DEPTH) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let c = TraceStatsCollector::new();
+        let r = c.report();
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.immediately_parameterless, 0.0);
+    }
+}

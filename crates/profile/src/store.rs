@@ -1,0 +1,97 @@
+//! The profile-store abstraction: what the DCG/AI organizers need from a
+//! profile-data representation.
+//!
+//! The paper (Section 6) notes its system "currently uses a very simple
+//! trace representation" and considers "moving to a more sophisticated
+//! representation" such as the calling-context tree of Ammons, Ball and
+//! Larus. Both representations are provided here — the flat [`Dcg`] and the
+//! [`CallingContextTree`] — behind this common trait, selectable in the
+//! AOS configuration.
+//!
+//! [`Dcg`]: crate::Dcg
+//! [`CallingContextTree`]: crate::CallingContextTree
+
+use crate::dcg::HotTrace;
+use crate::key::TraceKey;
+use aoci_ir::{CallSiteRef, MethodId};
+use std::collections::HashMap;
+
+/// Storage and query interface for weighted trace profiles.
+pub trait ProfileStore: std::fmt::Debug {
+    /// Records one observation of `key`.
+    fn record(&mut self, key: TraceKey, weight: f64);
+
+    /// Ages all weights by `factor`, pruning negligible entries.
+    fn decay(&mut self, factor: f64);
+
+    /// Total profile weight.
+    fn total_weight(&self) -> f64;
+
+    /// Number of distinct stored traces.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the store holds no traces.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Traces holding at least `threshold_fraction` of the total weight,
+    /// heaviest first.
+    fn hot(&self, threshold_fraction: f64) -> Vec<HotTrace>;
+
+    /// Callee distribution of the call site (summed over all contexts with
+    /// that immediate caller).
+    fn site_distribution(&self, site: CallSiteRef) -> HashMap<MethodId, f64>;
+
+    /// A snapshot of every `(trace, weight)` entry.
+    fn entries(&self) -> Vec<(TraceKey, f64)>;
+}
+
+impl ProfileStore for crate::Dcg {
+    fn record(&mut self, key: TraceKey, weight: f64) {
+        crate::Dcg::record(self, key, weight);
+    }
+
+    fn decay(&mut self, factor: f64) {
+        crate::Dcg::decay(self, factor);
+    }
+
+    fn total_weight(&self) -> f64 {
+        crate::Dcg::total_weight(self)
+    }
+
+    fn len(&self) -> usize {
+        crate::Dcg::len(self)
+    }
+
+    fn hot(&self, threshold_fraction: f64) -> Vec<HotTrace> {
+        crate::Dcg::hot(self, threshold_fraction)
+    }
+
+    fn site_distribution(&self, site: CallSiteRef) -> HashMap<MethodId, f64> {
+        crate::Dcg::site_distribution(self, site)
+    }
+
+    fn entries(&self) -> Vec<(TraceKey, f64)> {
+        self.iter().map(|(k, w)| (k.clone(), w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_ir::SiteIdx;
+
+    #[test]
+    fn dcg_implements_store() {
+        let mut store: Box<dyn ProfileStore> = Box::new(crate::Dcg::default());
+        let cs = CallSiteRef::new(MethodId::from_index(0), SiteIdx(0));
+        store.record(TraceKey::edge(cs, MethodId::from_index(1)), 2.0);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.entries().len(), 1);
+        assert_eq!(store.hot(0.5).len(), 1);
+        store.decay(0.5);
+        assert!((store.total_weight() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,545 @@
+//! The interpreter: executes compiled method versions under the simulated
+//! clock, yielding to the caller at timer samples.
+
+use crate::clock::{Clock, Component};
+use crate::code::{MethodVersion, OptLevel};
+use crate::cost::CostModel;
+use crate::error::VmError;
+use crate::heap::Heap;
+use crate::registry::CodeRegistry;
+use crate::stack::{SourceFrame, StackSnapshot};
+use crate::value::Value;
+use aoci_ir::{BinOp, Cond, Instr, MethodId, Program, Reg};
+use std::sync::Arc;
+
+/// Interpreter configuration.
+#[derive(Clone, Debug)]
+pub struct VmConfig {
+    /// When `true` (the default), stack snapshots reconstruct source-level
+    /// frames through inline maps, as Jikes RVM does (paper Section 3.3).
+    /// When `false`, inlined frames are invisible to samplers — the "naive
+    /// trace listener" the paper warns about; kept as an ablation.
+    pub source_level_walk: bool,
+    /// Number of leading instructions of a (source-level) method body that
+    /// count as its prologue for edge/trace sampling purposes.
+    pub prologue_window: u32,
+    /// Maximum number of source-level frames a snapshot records.
+    pub max_walk_frames: usize,
+    /// Maximum machine call-stack depth before [`VmError::StackOverflow`].
+    pub max_stack_depth: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            source_level_walk: true,
+            prologue_window: 3,
+            max_walk_frames: 64,
+            max_stack_depth: 4096,
+        }
+    }
+}
+
+/// Why [`Vm::run`] returned.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// A timer sample is due; the snapshot describes the sampled stack.
+    /// Call [`Vm::run`] again to continue.
+    Sample(StackSnapshot),
+    /// The program returned from its entry point.
+    Finished(Option<Value>),
+    /// The cycle budget passed to [`Vm::run`] was exhausted before a sample
+    /// or completion; execution can be resumed.
+    BudgetExhausted,
+}
+
+/// Dynamic execution counters, useful for analysing inlining effectiveness
+/// (e.g. how many guards executed and how often they failed into the
+/// virtual-dispatch fallback).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Calls executed (static + virtual), excluding inlined (eliminated)
+    /// calls.
+    pub calls: u64,
+    /// Virtual dispatches performed (including guard-fallback dispatches).
+    pub virtual_dispatches: u64,
+    /// Inline guards executed.
+    pub guard_checks: u64,
+    /// Inline guards that failed into the fallback path.
+    pub guard_misses: u64,
+}
+
+#[derive(Debug)]
+struct Frame {
+    version: Arc<MethodVersion>,
+    pc: usize,
+    regs: Vec<Value>,
+    /// Where the caller wants the return value.
+    ret_dst: Option<Reg>,
+}
+
+/// The virtual machine: interpreter, heap, globals, compiled-code registry
+/// and simulated clock.
+///
+/// Run it in a loop around [`Vm::run`]: each return gives the embedding
+/// adaptive-optimization driver a chance to consume the sample, run
+/// organizers (charging their cycles via [`Vm::clock_mut`]) and install
+/// newly compiled code via [`Vm::registry_mut`]; installed code takes effect
+/// at the next invocation of the method.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    config: VmConfig,
+    cost: CostModel,
+    clock: Clock,
+    registry: CodeRegistry,
+    heap: Heap,
+    globals: Vec<Value>,
+    stack: Vec<Frame>,
+    next_sample_at: Option<u64>,
+    finished: Option<Option<Value>>,
+    started: bool,
+    counters: ExecCounters,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM for `program` with default [`VmConfig`].
+    pub fn new(program: &'p Program, cost: CostModel) -> Self {
+        Self::with_config(program, cost, VmConfig::default())
+    }
+
+    /// Creates a VM with an explicit configuration.
+    pub fn with_config(program: &'p Program, cost: CostModel, config: VmConfig) -> Self {
+        Vm {
+            program,
+            config,
+            cost,
+            clock: Clock::new(),
+            registry: CodeRegistry::new(program.num_methods()),
+            heap: Heap::new(),
+            globals: vec![Value::Int(0); program.num_globals()],
+            stack: Vec::new(),
+            next_sample_at: None,
+            finished: None,
+            started: false,
+            counters: ExecCounters::default(),
+        }
+    }
+
+    /// Returns the dynamic execution counters.
+    pub fn counters(&self) -> ExecCounters {
+        self.counters
+    }
+
+    /// Returns the program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Returns the simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Returns the clock mutably, so the embedding driver can charge
+    /// organizer/compilation cycles.
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// Returns the compiled-code registry.
+    pub fn registry(&self) -> &CodeRegistry {
+        &self.registry
+    }
+
+    /// Returns the registry mutably, for installing newly compiled code.
+    pub fn registry_mut(&mut self) -> &mut CodeRegistry {
+        &mut self.registry
+    }
+
+    /// Returns the cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Returns the heap (useful for assertions in tests).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Returns `true` once the entry method has returned.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// Current machine call-stack depth.
+    pub fn stack_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Runs until a sample is due, the program finishes, or `budget` cycles
+    /// of application execution have been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program faults; the VM is then stuck and
+    /// further calls return the same fault's consequences.
+    pub fn run(&mut self, budget: u64) -> Result<RunOutcome, VmError> {
+        if let Some(v) = &self.finished {
+            return Ok(RunOutcome::Finished(*v));
+        }
+        if !self.started {
+            self.started = true;
+            let entry = self.program.entry();
+            let version = self.ensure_compiled(entry);
+            self.push_frame(version, Vec::new(), None)?;
+        }
+        if self.next_sample_at.is_none() && self.cost.sample_period > 0 {
+            self.next_sample_at = Some(self.clock.total() + self.cost.sample_period);
+        }
+        let start = self.clock.total();
+        loop {
+            if let Some(v) = &self.finished {
+                return Ok(RunOutcome::Finished(*v));
+            }
+            if self.clock.total() - start >= budget {
+                return Ok(RunOutcome::BudgetExhausted);
+            }
+            self.step()?;
+            if let Some(due) = self.next_sample_at {
+                if self.clock.total() >= due && self.finished.is_none() {
+                    self.next_sample_at = Some(self.clock.total() + self.cost.sample_period);
+                    let snapshot = self.snapshot();
+                    return Ok(RunOutcome::Sample(snapshot));
+                }
+            }
+        }
+    }
+
+    /// Runs the program to completion, ignoring samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the program faults.
+    pub fn run_to_completion(&mut self) -> Result<Option<Value>, VmError> {
+        loop {
+            match self.run(u64::MAX)? {
+                RunOutcome::Finished(v) => return Ok(v),
+                RunOutcome::Sample(_) | RunOutcome::BudgetExhausted => continue,
+            }
+        }
+    }
+
+    /// Builds a source-level snapshot of the current stack (see
+    /// [`StackSnapshot`]). Listener costs are *not* charged here; the
+    /// embedding driver charges them according to how much of the snapshot
+    /// its listeners consume.
+    pub fn snapshot(&self) -> StackSnapshot {
+        let mut frames = Vec::new();
+        let mut root_method = self.program.entry();
+        let mut top_in_prologue = false;
+        for (depth, mf) in self.stack.iter().rev().enumerate() {
+            if depth == 0 {
+                root_method = mf.version.method;
+                top_in_prologue = if self.config.source_level_walk {
+                    mf.version.inline_map.in_prologue(mf.pc, self.config.prologue_window)
+                } else {
+                    (mf.pc as u32) < self.config.prologue_window
+                };
+            }
+            // The call site through which the next-inner machine frame was
+            // entered: the call instruction this frame is resting on.
+            let inner_site = if depth == 0 {
+                None
+            } else {
+                mf.version.body.get(mf.pc).and_then(Instr::call_site)
+            };
+            if self.config.source_level_walk {
+                let chain = mf.version.inline_map.source_chain(mf.pc);
+                for (j, (method, _)) in chain.iter().enumerate() {
+                    let callsite_to_inner = if j == 0 { inner_site } else { chain[j - 1].1 };
+                    frames.push(SourceFrame { method: *method, callsite_to_inner });
+                    if frames.len() >= self.config.max_walk_frames {
+                        break;
+                    }
+                }
+            } else {
+                frames.push(SourceFrame {
+                    method: mf.version.method,
+                    callsite_to_inner: inner_site,
+                });
+            }
+            if frames.len() >= self.config.max_walk_frames {
+                break;
+            }
+        }
+        StackSnapshot {
+            frames,
+            root_method,
+            top_in_prologue,
+            cycles: self.clock.total(),
+        }
+    }
+
+    fn ensure_compiled(&mut self, method: MethodId) -> Arc<MethodVersion> {
+        if let Some(v) = self.registry.current(method) {
+            return Arc::clone(v);
+        }
+        let def = self.program.method(method);
+        self.clock.charge(
+            Component::BaselineCompilation,
+            self.cost.baseline_compile_cost(def.size_estimate()),
+        );
+        self.registry.install_baseline(def)
+    }
+
+    fn push_frame(
+        &mut self,
+        version: Arc<MethodVersion>,
+        args: Vec<Value>,
+        ret_dst: Option<Reg>,
+    ) -> Result<(), VmError> {
+        if self.stack.len() >= self.config.max_stack_depth {
+            return Err(VmError::StackOverflow { limit: self.config.max_stack_depth });
+        }
+        let mut regs = vec![Value::Null; version.num_regs as usize];
+        regs[..args.len()].copy_from_slice(&args);
+        self.stack.push(Frame { version, pc: 0, regs, ret_dst });
+        Ok(())
+    }
+
+    fn fault_site(&self) -> (MethodId, usize) {
+        match self.stack.last() {
+            Some(f) => (f.version.method, f.pc),
+            None => (self.program.entry(), 0),
+        }
+    }
+
+    fn int(&self, v: Value) -> Result<i64, VmError> {
+        let (method, pc) = self.fault_site();
+        v.as_int().ok_or(VmError::TypeError { method, pc, expected: "integer" })
+    }
+
+    /// Executes one instruction.
+    fn step(&mut self) -> Result<(), VmError> {
+        let frame = self.stack.last().expect("step requires a frame");
+        let version = Arc::clone(&frame.version);
+        let pc = frame.pc;
+        let instr = version.body[pc].clone();
+        let app_component = match version.level {
+            OptLevel::Baseline => Component::AppBaseline,
+            OptLevel::Optimized => Component::AppOptimized,
+        };
+        self.clock.charge(app_component, self.cost.instr_cost(&instr, version.level));
+
+        let method = version.method;
+        let mut next_pc = pc + 1;
+        match instr {
+            Instr::Const { dst, value } => self.set_reg(dst, Value::Int(value)),
+            Instr::ConstNull { dst } => self.set_reg(dst, Value::Null),
+            Instr::Move { dst, src } => {
+                let v = self.reg(src);
+                self.set_reg(dst, v);
+            }
+            Instr::Bin { op, dst, lhs, rhs } => {
+                let a = self.int(self.reg(lhs))?;
+                let b = self.int(self.reg(rhs))?;
+                let r = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(VmError::DivideByZero { method, pc });
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(VmError::DivideByZero { method, pc });
+                        }
+                        a.wrapping_rem(b)
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                };
+                self.set_reg(dst, Value::Int(r));
+            }
+            Instr::Work { .. } => {}
+            Instr::New { dst, class } => {
+                let layout = self.program.class(class).layout_size();
+                let r = self.heap.alloc_object(class, layout);
+                self.set_reg(dst, Value::Ref(r));
+            }
+            Instr::GetField { dst, obj, field } => {
+                let r = self.reg(obj).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let off = self.program.field(field).offset();
+                let v = self
+                    .heap
+                    .get_field(r, off)
+                    .ok_or(VmError::TypeError { method, pc, expected: "object" })?;
+                self.set_reg(dst, v);
+            }
+            Instr::PutField { obj, field, src } => {
+                let r = self.reg(obj).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let off = self.program.field(field).offset();
+                let v = self.reg(src);
+                if !self.heap.put_field(r, off, v) {
+                    return Err(VmError::TypeError { method, pc, expected: "object" });
+                }
+            }
+            Instr::GetGlobal { dst, global } => {
+                let v = self.globals[global.index()];
+                self.set_reg(dst, v);
+            }
+            Instr::PutGlobal { global, src } => {
+                self.globals[global.index()] = self.reg(src);
+            }
+            Instr::ArrNew { dst, len } => {
+                let n = self.int(self.reg(len))?;
+                if n < 0 {
+                    return Err(VmError::NegativeArrayLength { method, pc });
+                }
+                let r = self.heap.alloc_array(n as u32);
+                self.set_reg(dst, Value::Ref(r));
+            }
+            Instr::ArrGet { dst, arr, idx } => {
+                let r = self.reg(arr).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let i = self.int(self.reg(idx))?;
+                let v = self
+                    .heap
+                    .arr_get(r, i)
+                    .ok_or(VmError::IndexOutOfBounds { method, pc, index: i })?;
+                self.set_reg(dst, v);
+            }
+            Instr::ArrSet { arr, idx, src } => {
+                let r = self.reg(arr).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let i = self.int(self.reg(idx))?;
+                let v = self.reg(src);
+                if !self.heap.arr_set(r, i, v) {
+                    return Err(VmError::IndexOutOfBounds { method, pc, index: i });
+                }
+            }
+            Instr::ArrLen { dst, arr } => {
+                let r = self.reg(arr).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let n = self
+                    .heap
+                    .arr_len(r)
+                    .ok_or(VmError::TypeError { method, pc, expected: "array" })?;
+                self.set_reg(dst, Value::Int(n));
+            }
+            Instr::InstanceOf { dst, obj, class } => {
+                let result = match self.reg(obj) {
+                    Value::Ref(r) => match self.heap.class_of(r) {
+                        Some(c) => self.program.is_subclass(c, class),
+                        None => false,
+                    },
+                    _ => false,
+                };
+                self.set_reg(dst, Value::Int(result as i64));
+            }
+            Instr::Jump { target } => next_pc = target as usize,
+            Instr::Branch { cond, lhs, rhs, target } => {
+                let a = self.reg(lhs);
+                let b = self.reg(rhs);
+                let taken = match cond {
+                    Cond::Eq => a.vm_eq(b),
+                    Cond::Ne => !a.vm_eq(b),
+                    Cond::Lt => self.int(a)? < self.int(b)?,
+                    Cond::Le => self.int(a)? <= self.int(b)?,
+                    Cond::Gt => self.int(a)? > self.int(b)?,
+                    Cond::Ge => self.int(a)? >= self.int(b)?,
+                };
+                if taken {
+                    next_pc = target as usize;
+                }
+            }
+            Instr::GuardClass { recv, class, else_target } => {
+                let pass = match self.reg(recv) {
+                    Value::Ref(r) => self.heap.class_of(r) == Some(class),
+                    _ => false,
+                };
+                self.counters.guard_checks += 1;
+                if !pass {
+                    self.counters.guard_misses += 1;
+                    next_pc = else_target as usize;
+                }
+            }
+            Instr::GuardMethod { recv, selector, target, else_target } => {
+                let pass = match self.reg(recv) {
+                    Value::Ref(r) => self
+                        .heap
+                        .class_of(r)
+                        .and_then(|c| self.program.lookup_virtual(c, selector))
+                        == Some(target),
+                    _ => false,
+                };
+                self.counters.guard_checks += 1;
+                if !pass {
+                    self.counters.guard_misses += 1;
+                    next_pc = else_target as usize;
+                }
+            }
+            Instr::CallStatic { dst, callee, args, .. } => {
+                self.counters.calls += 1;
+                let argv: Vec<Value> = args.iter().map(|&a| self.reg(a)).collect();
+                let callee_version = self.ensure_compiled(callee);
+                // The caller's pc stays on the call instruction while the
+                // callee runs (stack walks read the site from it); it is
+                // advanced on return.
+                self.push_frame(callee_version, argv, dst)?;
+                return Ok(());
+            }
+            Instr::CallVirtual { dst, selector, recv, args, .. } => {
+                self.counters.calls += 1;
+                self.counters.virtual_dispatches += 1;
+                let recv_val = self.reg(recv);
+                let r = recv_val.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let class = self
+                    .heap
+                    .class_of(r)
+                    .ok_or(VmError::TypeError { method, pc, expected: "object" })?;
+                let target = self
+                    .program
+                    .lookup_virtual(class, selector)
+                    .ok_or(VmError::NoSuchMethod { selector, method, pc })?;
+                let mut argv = Vec::with_capacity(args.len() + 1);
+                argv.push(recv_val);
+                argv.extend(args.iter().map(|&a| self.reg(a)));
+                let callee_version = self.ensure_compiled(target);
+                self.push_frame(callee_version, argv, dst)?;
+                return Ok(());
+            }
+            Instr::Return { src } => {
+                let value = src.map(|r| self.reg(r));
+                let finished_frame = self.stack.pop().expect("return requires a frame");
+                match self.stack.last_mut() {
+                    None => {
+                        self.finished = Some(value);
+                    }
+                    Some(caller) => {
+                        if let (Some(dst), Some(v)) = (finished_frame.ret_dst, value) {
+                            caller.regs[dst.index()] = v;
+                        }
+                        caller.pc += 1; // advance past the call instruction
+                    }
+                }
+                return Ok(());
+            }
+        }
+        self.stack.last_mut().expect("frame still present").pc = next_pc;
+        Ok(())
+    }
+
+    fn reg(&self, r: Reg) -> Value {
+        self.stack.last().expect("active frame").regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: Value) {
+        self.stack.last_mut().expect("active frame").regs[r.index()] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests;

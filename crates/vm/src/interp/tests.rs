@@ -1,0 +1,714 @@
+use super::*;
+use crate::code::{InlineMapBuilder, MethodVersion, OptLevel};
+use aoci_ir::{BinOp, Cond, ProgramBuilder, SiteIdx};
+
+fn run_main(build: impl FnOnce(&mut ProgramBuilder) -> aoci_ir::MethodId) -> Option<Value> {
+    let mut b = ProgramBuilder::new();
+    let main = build(&mut b);
+    let p = b.finish(main).expect("valid program");
+    let mut vm = Vm::new(&p, CostModel::default());
+    vm.run_to_completion().expect("no fault")
+}
+
+#[test]
+fn arithmetic_and_branches() {
+    // Compute sum 1..=5 with a loop.
+    let v = run_main(|b| {
+        let mut m = b.static_method("main", 0);
+        let i = m.fresh_reg();
+        let sum = m.fresh_reg();
+        let limit = m.fresh_reg();
+        let one = m.fresh_reg();
+        m.const_int(i, 1);
+        m.const_int(sum, 0);
+        m.const_int(limit, 5);
+        m.const_int(one, 1);
+        let top = m.label();
+        let out = m.label();
+        m.bind(top);
+        m.branch(Cond::Gt, i, limit, out);
+        m.bin(BinOp::Add, sum, sum, i);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(top);
+        m.bind(out);
+        m.ret(Some(sum));
+        m.finish()
+    });
+    assert_eq!(v.and_then(Value::as_int), Some(15));
+}
+
+#[test]
+fn fields_and_objects() {
+    let v = run_main(|b| {
+        let a = b.class("A", None);
+        let f = b.field(a, "x");
+        let mut m = b.static_method("main", 0);
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.new_obj(o, a);
+        m.const_int(r, 77);
+        m.put_field(o, f, r);
+        let out = m.fresh_reg();
+        m.get_field(out, o, f);
+        m.ret(Some(out));
+        m.finish()
+    });
+    assert_eq!(v.and_then(Value::as_int), Some(77));
+}
+
+#[test]
+fn arrays_and_globals() {
+    let v = run_main(|b| {
+        let g = b.global("counter");
+        let mut m = b.static_method("main", 0);
+        let len = m.fresh_reg();
+        let arr = m.fresh_reg();
+        let idx = m.fresh_reg();
+        let val = m.fresh_reg();
+        m.const_int(len, 4);
+        m.arr_new(arr, len);
+        m.const_int(idx, 2);
+        m.const_int(val, 9);
+        m.arr_set(arr, idx, val);
+        let got = m.fresh_reg();
+        m.arr_get(got, arr, idx);
+        m.put_global(g, got);
+        let out = m.fresh_reg();
+        m.get_global(out, g);
+        let n = m.fresh_reg();
+        m.arr_len(n, arr);
+        m.bin(BinOp::Add, out, out, n);
+        m.ret(Some(out));
+        m.finish()
+    });
+    assert_eq!(v.and_then(Value::as_int), Some(13));
+}
+
+#[test]
+fn virtual_dispatch_picks_dynamic_class() {
+    let v = run_main(|b| {
+        let sel = b.selector("val", 0);
+        let a = b.class("A", None);
+        let c = b.class("B", Some(a));
+        {
+            let mut m = b.virtual_method("A.val", a, sel);
+            let r = m.fresh_reg();
+            m.const_int(r, 1);
+            m.ret(Some(r));
+            m.finish();
+        }
+        {
+            let mut m = b.virtual_method("B.val", c, sel);
+            let r = m.fresh_reg();
+            m.const_int(r, 2);
+            m.ret(Some(r));
+            m.finish();
+        }
+        let mut m = b.static_method("main", 0);
+        let oa = m.fresh_reg();
+        let ob = m.fresh_reg();
+        let ra = m.fresh_reg();
+        let rb = m.fresh_reg();
+        m.new_obj(oa, a);
+        m.new_obj(ob, c);
+        m.call_virtual(Some(ra), sel, oa, &[]);
+        m.call_virtual(Some(rb), sel, ob, &[]);
+        let shift = m.fresh_reg();
+        m.const_int(shift, 10);
+        m.bin(BinOp::Mul, rb, rb, shift);
+        m.bin(BinOp::Add, ra, ra, rb);
+        m.ret(Some(ra));
+        m.finish()
+    });
+    assert_eq!(v.and_then(Value::as_int), Some(21));
+}
+
+#[test]
+fn inherited_method_dispatch() {
+    let v = run_main(|b| {
+        let sel = b.selector("val", 0);
+        let a = b.class("A", None);
+        let sub = b.class("Sub", Some(a)); // does not override
+        {
+            let mut m = b.virtual_method("A.val", a, sel);
+            let r = m.fresh_reg();
+            m.const_int(r, 5);
+            m.ret(Some(r));
+            m.finish();
+        }
+        let mut m = b.static_method("main", 0);
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.new_obj(o, sub);
+        m.call_virtual(Some(r), sel, o, &[]);
+        m.ret(Some(r));
+        m.finish()
+    });
+    assert_eq!(v.and_then(Value::as_int), Some(5));
+}
+
+#[test]
+fn recursion_with_arguments() {
+    // fib(10) = 55 via naive recursion.
+    let v = run_main(|b| {
+        let fib = {
+            let mut m = b.static_method("fib", 1);
+            let n = m.param(0);
+            let two = m.fresh_reg();
+            m.const_int(two, 2);
+            let recurse = m.label();
+            m.branch(Cond::Ge, n, two, recurse);
+            m.ret(Some(n));
+            m.bind(recurse);
+            let one = m.fresh_reg();
+            let a = m.fresh_reg();
+            let c = m.fresh_reg();
+            let t = m.fresh_reg();
+            m.const_int(one, 1);
+            m.bin(BinOp::Sub, t, n, one);
+            m.call_static(Some(a), m.id(), &[t]);
+            m.bin(BinOp::Sub, t, n, two);
+            m.call_static(Some(c), m.id(), &[t]);
+            m.bin(BinOp::Add, a, a, c);
+            m.ret(Some(a));
+            m.finish()
+        };
+        let mut m = b.static_method("main", 0);
+        let n = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(n, 10);
+        m.call_static(Some(r), fib, &[n]);
+        m.ret(Some(r));
+        m.finish()
+    });
+    assert_eq!(v.and_then(Value::as_int), Some(55));
+}
+
+#[test]
+fn instance_of_respects_subtyping() {
+    let v = run_main(|b| {
+        let a = b.class("A", None);
+        let sub = b.class("Sub", Some(a));
+        let other = b.class("Other", None);
+        let mut m = b.static_method("main", 0);
+        let o = m.fresh_reg();
+        m.new_obj(o, sub);
+        let r1 = m.fresh_reg();
+        let r2 = m.fresh_reg();
+        let r3 = m.fresh_reg();
+        m.instance_of(r1, o, a); // 1: Sub <: A
+        m.instance_of(r2, o, other); // 0
+        let n = m.fresh_reg();
+        m.const_null(n);
+        m.instance_of(r3, n, a); // 0: null
+        let ten = m.fresh_reg();
+        m.const_int(ten, 10);
+        m.bin(BinOp::Mul, r1, r1, ten);
+        m.bin(BinOp::Add, r1, r1, r2);
+        m.bin(BinOp::Add, r1, r1, r3);
+        m.ret(Some(r1));
+        m.finish()
+    });
+    assert_eq!(v.and_then(Value::as_int), Some(10));
+}
+
+fn faulting_program(
+    build: impl FnOnce(&mut ProgramBuilder) -> aoci_ir::MethodId,
+) -> VmError {
+    let mut b = ProgramBuilder::new();
+    let main = build(&mut b);
+    let p = b.finish(main).expect("valid program");
+    let mut vm = Vm::new(&p, CostModel::default());
+    vm.run_to_completion().expect_err("program faults")
+}
+
+#[test]
+fn null_deref_faults() {
+    let e = faulting_program(|b| {
+        let a = b.class("A", None);
+        let f = b.field(a, "x");
+        let mut m = b.static_method("main", 0);
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_null(o);
+        m.get_field(r, o, f);
+        m.ret(None);
+        m.finish()
+    });
+    assert!(matches!(e, VmError::NullDeref { .. }));
+}
+
+#[test]
+fn divide_by_zero_faults() {
+    let e = faulting_program(|b| {
+        let mut m = b.static_method("main", 0);
+        let a = m.fresh_reg();
+        let z = m.fresh_reg();
+        m.const_int(a, 1);
+        m.const_int(z, 0);
+        m.bin(BinOp::Div, a, a, z);
+        m.ret(None);
+        m.finish()
+    });
+    assert!(matches!(e, VmError::DivideByZero { .. }));
+}
+
+#[test]
+fn index_out_of_bounds_faults() {
+    let e = faulting_program(|b| {
+        let mut m = b.static_method("main", 0);
+        let len = m.fresh_reg();
+        let arr = m.fresh_reg();
+        let idx = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(len, 2);
+        m.arr_new(arr, len);
+        m.const_int(idx, 5);
+        m.arr_get(r, arr, idx);
+        m.ret(None);
+        m.finish()
+    });
+    assert!(matches!(e, VmError::IndexOutOfBounds { index: 5, .. }));
+}
+
+#[test]
+fn stack_overflow_faults() {
+    let mut b = ProgramBuilder::new();
+    let main = {
+        let mut m = b.static_method("main", 0);
+        m.call_static(None, m.id(), &[]);
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid program");
+    let mut vm = Vm::with_config(
+        &p,
+        CostModel::default(),
+        VmConfig { max_stack_depth: 32, ..VmConfig::default() },
+    );
+    let e = vm.run_to_completion().expect_err("overflows");
+    assert!(matches!(e, VmError::StackOverflow { limit: 32 }));
+}
+
+#[test]
+fn baseline_compilation_charged_once_per_method() {
+    let mut b = ProgramBuilder::new();
+    let callee = {
+        let mut m = b.static_method("callee", 0);
+        m.ret(None);
+        m.finish()
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        m.call_static(None, callee, &[]);
+        m.call_static(None, callee, &[]);
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid program");
+    let mut vm = Vm::new(&p, CostModel::default());
+    vm.run_to_completion().expect("ok");
+    assert_eq!(vm.registry().baseline_compilations(), 2); // main + callee
+    assert!(vm.clock().component(Component::BaselineCompilation) > 0);
+}
+
+#[test]
+fn samples_fire_periodically() {
+    let mut b = ProgramBuilder::new();
+    let main = {
+        let mut m = b.static_method("main", 0);
+        for _ in 0..100 {
+            m.work(100);
+        }
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid program");
+    let cost = CostModel { sample_period: 1000, baseline_factor: 1, ..CostModel::default() };
+    let mut vm = Vm::new(&p, cost);
+    let mut samples = 0;
+    loop {
+        match vm.run(u64::MAX).expect("ok") {
+            RunOutcome::Sample(s) => {
+                samples += 1;
+                assert_eq!(s.top_method(), Some(main));
+                assert_eq!(s.root_method, main);
+            }
+            RunOutcome::Finished(_) => break,
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    // ~10_000 cycles of work at period 1000 (+ compile time) → around 10.
+    assert!((8..=13).contains(&samples), "got {samples} samples");
+}
+
+#[test]
+fn budget_exhaustion_is_resumable() {
+    let mut b = ProgramBuilder::new();
+    let main = {
+        let mut m = b.static_method("main", 0);
+        for _ in 0..10 {
+            m.work(100);
+        }
+        let r = m.fresh_reg();
+        m.const_int(r, 4);
+        m.ret(Some(r));
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid program");
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    let mut vm = Vm::new(&p, cost);
+    let mut exhausted = 0;
+    let result = loop {
+        match vm.run(500).expect("ok") {
+            RunOutcome::BudgetExhausted => exhausted += 1,
+            RunOutcome::Finished(v) => break v,
+            RunOutcome::Sample(_) => unreachable!("sampling disabled"),
+        }
+    };
+    assert!(exhausted > 1);
+    assert_eq!(result.and_then(Value::as_int), Some(4));
+}
+
+#[test]
+fn snapshot_reports_call_chain_and_prologue() {
+    let mut b = ProgramBuilder::new();
+    let leaf = {
+        let mut m = b.static_method("leaf", 0);
+        m.work(10_000);
+        m.ret(None);
+        m.finish()
+    };
+    let mid = {
+        let mut m = b.static_method("mid", 0);
+        m.call_static(None, leaf, &[]);
+        m.ret(None);
+        m.finish()
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        m.call_static(None, mid, &[]);
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid program");
+    let cost = CostModel { sample_period: 5000, baseline_factor: 1, ..CostModel::default() };
+    let mut vm = Vm::new(&p, cost);
+    let snap = loop {
+        match vm.run(u64::MAX).expect("ok") {
+            RunOutcome::Sample(s) if s.top_method() == Some(leaf) => break s,
+            RunOutcome::Sample(_) => continue,
+            RunOutcome::Finished(_) => panic!("expected a sample in leaf"),
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    };
+    let methods: Vec<_> = snap.frames.iter().map(|f| f.method).collect();
+    assert_eq!(methods, vec![leaf, mid, main]);
+    // mid called leaf at its site 0; main called mid at its site 0.
+    assert_eq!(snap.frames[1].callsite_to_inner, Some(SiteIdx(0)));
+    assert_eq!(snap.frames[2].callsite_to_inner, Some(SiteIdx(0)));
+    assert_eq!(snap.frames[0].callsite_to_inner, None);
+}
+
+/// Builds an optimized version by hand (the inliner does this in `aoci-opt`)
+/// and checks that (a) the VM executes it, (b) snapshots see through the
+/// inlining via the inline map.
+#[test]
+fn optimized_code_with_inline_map_recovers_source_frames() {
+    let mut b = ProgramBuilder::new();
+    let inner = {
+        let mut m = b.static_method("inner", 0);
+        m.work(50_000);
+        let r = m.fresh_reg();
+        m.const_int(r, 3);
+        m.ret(Some(r));
+        m.finish()
+    };
+    let outer = {
+        let mut m = b.static_method("outer", 0);
+        let r = m.fresh_reg();
+        m.call_static(Some(r), inner, &[]);
+        m.ret(Some(r));
+        m.finish()
+    };
+    let p = b.finish(outer).expect("valid program");
+
+    // Hand-inlined body of `outer` with `inner` spliced at site 0:
+    //   0: work 50_000        (inner)
+    //   1: r1 = const 3       (inner, renamed)
+    //   2: r0 = r1            (inner's return feeding outer's r0)
+    //   3: return r0          (outer)
+    let mut map = InlineMapBuilder::new(outer);
+    let node = map.add_node(map.root(), SiteIdx(0), inner, 0);
+    map.push_instr(node);
+    map.push_instr(node);
+    map.push_instr(node);
+    map.push_instr(map.root());
+    let body = vec![
+        Instr::Work { units: 50_000 },
+        Instr::Const { dst: Reg(1), value: 3 },
+        Instr::Move { dst: Reg(0), src: Reg(1) },
+        Instr::Return { src: Some(Reg(0)) },
+    ];
+    let version = MethodVersion {
+        method: outer,
+        level: OptLevel::Optimized,
+        body,
+        num_regs: 2,
+        inline_map: map.finish(),
+        code_size: 50_003,
+        version_id: 0,
+    };
+
+    let cost = CostModel { sample_period: 10_000, ..CostModel::default() };
+    let mut vm = Vm::new(&p, cost);
+    vm.registry_mut().install(version);
+    let mut saw_inlined_frame = false;
+    let result = loop {
+        match vm.run(u64::MAX).expect("ok") {
+            RunOutcome::Sample(s) => {
+                if s.top_method() == Some(inner) {
+                    saw_inlined_frame = true;
+                    // Source-level stack: inner (inlined at outer@0) → outer.
+                    assert_eq!(s.frames.len(), 2);
+                    assert_eq!(s.frames[1].method, outer);
+                    assert_eq!(s.frames[1].callsite_to_inner, Some(SiteIdx(0)));
+                    // Machine-level root is the optimized `outer`.
+                    assert_eq!(s.root_method, outer);
+                }
+            }
+            RunOutcome::Finished(v) => break v,
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    };
+    assert_eq!(result.and_then(Value::as_int), Some(3));
+    assert!(saw_inlined_frame, "expected a sample inside the inlined body");
+    assert!(vm.clock().component(Component::AppOptimized) > 0);
+}
+
+/// Same as above but with the naive (non-source-level) walk: the inlined
+/// frame must be invisible, demonstrating the misleading-sample problem the
+/// paper describes.
+#[test]
+fn naive_walk_hides_inlined_frames() {
+    let mut b = ProgramBuilder::new();
+    let inner = {
+        let mut m = b.static_method("inner", 0);
+        m.work(50_000);
+        m.ret(None);
+        m.finish()
+    };
+    let outer = {
+        let mut m = b.static_method("outer", 0);
+        m.call_static(None, inner, &[]);
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(outer).expect("valid program");
+
+    let mut map = InlineMapBuilder::new(outer);
+    let node = map.add_node(map.root(), SiteIdx(0), inner, 0);
+    map.push_instr(node);
+    map.push_instr(map.root());
+    let version = MethodVersion {
+        method: outer,
+        level: OptLevel::Optimized,
+        body: vec![Instr::Work { units: 50_000 }, Instr::Return { src: None }],
+        num_regs: 0,
+        inline_map: map.finish(),
+        code_size: 50_001,
+        version_id: 0,
+    };
+
+    let cost = CostModel { sample_period: 10_000, ..CostModel::default() };
+    let config = VmConfig { source_level_walk: false, ..VmConfig::default() };
+    let mut vm = Vm::with_config(&p, cost, config);
+    vm.registry_mut().install(version);
+    let mut samples = 0;
+    loop {
+        match vm.run(u64::MAX).expect("ok") {
+            RunOutcome::Sample(s) => {
+                samples += 1;
+                // The naive walk attributes everything to `outer`.
+                assert_eq!(s.top_method(), Some(outer));
+            }
+            RunOutcome::Finished(_) => break,
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    assert!(samples > 0);
+}
+
+#[test]
+fn guard_class_dispatches_inline_vs_fallback() {
+    // Optimized body of `call(o)`: guard o is A → inlined const 1;
+    // else virtual call (fallback).
+    let mut b = ProgramBuilder::new();
+    let sel = b.selector("val", 0);
+    let a = b.class("A", None);
+    let c = b.class("B", Some(a));
+    let a_val = {
+        let mut m = b.virtual_method("A.val", a, sel);
+        let r = m.fresh_reg();
+        m.const_int(r, 1);
+        m.ret(Some(r));
+        m.finish()
+    };
+    {
+        let mut m = b.virtual_method("B.val", c, sel);
+        let r = m.fresh_reg();
+        m.const_int(r, 2);
+        m.ret(Some(r));
+        m.finish();
+    }
+    let call = {
+        let mut m = b.static_method("call", 1);
+        let r = m.fresh_reg();
+        m.call_virtual(Some(r), sel, m.param(0), &[]);
+        m.ret(Some(r));
+        m.finish()
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let oa = m.fresh_reg();
+        let ob = m.fresh_reg();
+        let ra = m.fresh_reg();
+        let rb = m.fresh_reg();
+        m.new_obj(oa, a);
+        m.new_obj(ob, c);
+        m.call_static(Some(ra), call, &[oa]);
+        m.call_static(Some(rb), call, &[ob]);
+        let ten = m.fresh_reg();
+        m.const_int(ten, 10);
+        m.bin(BinOp::Mul, rb, rb, ten);
+        m.bin(BinOp::Add, ra, ra, rb);
+        m.ret(Some(ra));
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid program");
+
+    // Hand-build guarded-inline version of `call`:
+    //   0: guard r0 is A else 4
+    //   1: r2 = const 1        (inlined A.val, renamed)
+    //   2: r1 = r2
+    //   3: jump 5
+    //   4: r1 = vcall val(r0)  (fallback)
+    //   5: return r1
+    let mut map = InlineMapBuilder::new(call);
+    let node = map.add_node(map.root(), SiteIdx(0), a_val, 1);
+    map.push_instr(map.root());
+    map.push_instr(node);
+    map.push_instr(node);
+    map.push_instr(map.root());
+    map.push_instr(map.root());
+    map.push_instr(map.root());
+    let body = vec![
+        Instr::GuardClass { recv: Reg(0), class: a, else_target: 4 },
+        Instr::Const { dst: Reg(2), value: 1 },
+        Instr::Move { dst: Reg(1), src: Reg(2) },
+        Instr::Jump { target: 5 },
+        Instr::CallVirtual {
+            site: SiteIdx(0),
+            dst: Some(Reg(1)),
+            selector: sel,
+            recv: Reg(0),
+            args: vec![],
+        },
+        Instr::Return { src: Some(Reg(1)) },
+    ];
+    let version = MethodVersion {
+        method: call,
+        level: OptLevel::Optimized,
+        body,
+        num_regs: 3,
+        inline_map: map.finish(),
+        code_size: 20,
+        version_id: 0,
+    };
+
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    let mut vm = Vm::new(&p, cost);
+    vm.registry_mut().install(version);
+    let v = vm.run_to_completion().expect("ok");
+    // A-receiver takes the inlined path (1); B-receiver fails the guard and
+    // falls back to virtual dispatch (2): result 1 + 2*10 = 21.
+    assert_eq!(v.and_then(Value::as_int), Some(21));
+}
+
+#[test]
+fn deep_recursion_snapshot_truncates_at_max_walk() {
+    let mut b = ProgramBuilder::new();
+    let rec = {
+        let mut m = b.static_method("rec", 1);
+        let zero = m.fresh_reg();
+        m.const_int(zero, 0);
+        let base = m.label();
+        m.branch(Cond::Le, m.param(0), zero, base);
+        let one = m.fresh_reg();
+        let t = m.fresh_reg();
+        m.const_int(one, 1);
+        m.bin(BinOp::Sub, t, m.param(0), one);
+        m.call_static(None, m.id(), &[t]);
+        m.ret(None);
+        m.bind(base);
+        m.work(100_000); // deep leaf: samples land here
+        m.ret(None);
+        m.finish()
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let n = m.fresh_reg();
+        m.const_int(n, 50);
+        m.call_static(None, rec, &[n]);
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid");
+    let cost = CostModel { sample_period: 20_000, ..CostModel::default() };
+    let config = VmConfig { max_walk_frames: 8, ..VmConfig::default() };
+    let mut vm = Vm::with_config(&p, cost, config);
+    let mut saw_truncated = false;
+    loop {
+        match vm.run(u64::MAX).expect("ok") {
+            RunOutcome::Sample(s) => {
+                assert!(s.frames.len() <= 8, "walk must respect the cap");
+                if s.frames.len() == 8 {
+                    saw_truncated = true;
+                }
+            }
+            RunOutcome::Finished(_) => break,
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    assert!(saw_truncated, "the 51-deep stack should hit the 8-frame cap");
+}
+
+#[test]
+fn counters_start_at_zero_and_accumulate() {
+    let mut b = ProgramBuilder::new();
+    let sel = b.selector("v", 0);
+    let a = b.class("A", None);
+    {
+        let mut m = b.virtual_method("A.v", a, sel);
+        m.ret(None);
+        m.finish();
+    }
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let o = m.fresh_reg();
+        m.new_obj(o, a);
+        m.call_virtual(None, sel, o, &[]);
+        m.call_virtual(None, sel, o, &[]);
+        m.ret(None);
+        m.finish()
+    };
+    let p = b.finish(main).expect("valid");
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    let mut vm = Vm::new(&p, cost);
+    assert_eq!(vm.counters(), ExecCounters::default());
+    vm.run_to_completion().expect("ok");
+    let c = vm.counters();
+    assert_eq!(c.calls, 2);
+    assert_eq!(c.virtual_dispatches, 2);
+    assert_eq!(c.guard_checks, 0);
+}

@@ -1,0 +1,169 @@
+//! The compiled-code registry: current version of every method, plus the
+//! code-space accounting behind the paper's Figure 5.
+
+use crate::code::{MethodVersion, OptLevel};
+use aoci_ir::MethodId;
+use std::sync::Arc;
+
+/// Tracks the currently-installed [`MethodVersion`] for each method and
+/// aggregates code-space statistics.
+///
+/// Installation follows the Jikes model: a newly compiled version takes
+/// effect at the *next invocation* of the method; activations already on the
+/// stack keep running their old version (each frame holds an `Arc` to the
+/// version it started in).
+#[derive(Clone, Debug, Default)]
+pub struct CodeRegistry {
+    current: Vec<Option<Arc<MethodVersion>>>,
+    next_version_id: u32,
+    /// Total abstract size of all *optimized* code ever generated
+    /// (recompilations accumulate — each compilation emitted real machine
+    /// code in the paper's measurement).
+    cumulative_optimized_size: u64,
+    /// Total abstract size of currently-installed optimized versions.
+    current_optimized_size: u64,
+    /// Number of optimizing compilations performed.
+    opt_compilations: u32,
+    /// Number of baseline compilations performed.
+    baseline_compilations: u32,
+}
+
+impl CodeRegistry {
+    /// Creates a registry for a program with `num_methods` methods.
+    pub fn new(num_methods: usize) -> Self {
+        CodeRegistry {
+            current: vec![None; num_methods],
+            ..Self::default()
+        }
+    }
+
+    /// Returns the currently-installed version of `method`, if any.
+    pub fn current(&self, method: MethodId) -> Option<&Arc<MethodVersion>> {
+        self.current[method.index()].as_ref()
+    }
+
+    /// Installs `version` as the current code for its method, assigning it a
+    /// fresh `version_id`. Returns the installed `Arc`.
+    pub fn install(&mut self, mut version: MethodVersion) -> Arc<MethodVersion> {
+        version.version_id = self.next_version_id;
+        self.next_version_id += 1;
+        match version.level {
+            OptLevel::Optimized => {
+                self.cumulative_optimized_size += version.code_size as u64;
+                self.current_optimized_size += version.code_size as u64;
+                self.opt_compilations += 1;
+            }
+            OptLevel::Baseline => {
+                self.baseline_compilations += 1;
+            }
+        }
+        let slot = &mut self.current[version.method.index()];
+        if let Some(old) = slot.as_ref() {
+            if old.level == OptLevel::Optimized {
+                self.current_optimized_size -= old.code_size as u64;
+            }
+        }
+        let arc = Arc::new(version);
+        *slot = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// Baseline-compiles `def` and installs the result.
+    pub fn install_baseline(&mut self, def: &aoci_ir::MethodDef) -> Arc<MethodVersion> {
+        self.install(MethodVersion::baseline(def))
+    }
+
+    /// Total abstract size of all optimized code ever generated. This is the
+    /// Figure 5 metric ("bytes of optimized machine code").
+    pub fn cumulative_optimized_size(&self) -> u64 {
+        self.cumulative_optimized_size
+    }
+
+    /// Total abstract size of the optimized versions currently installed.
+    pub fn current_optimized_size(&self) -> u64 {
+        self.current_optimized_size
+    }
+
+    /// Number of optimizing compilations performed.
+    pub fn opt_compilations(&self) -> u32 {
+        self.opt_compilations
+    }
+
+    /// Number of baseline compilations performed (= dynamically compiled
+    /// methods; the "Methods" column of Table 1).
+    pub fn baseline_compilations(&self) -> u32 {
+        self.baseline_compilations
+    }
+
+    /// Iterates over currently-installed optimized versions.
+    pub fn optimized_versions(&self) -> impl Iterator<Item = &Arc<MethodVersion>> {
+        self.current
+            .iter()
+            .flatten()
+            .filter(|v| v.level == OptLevel::Optimized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::code::InlineMap;
+
+    fn version(method: usize, level: OptLevel, size: u32) -> MethodVersion {
+        let m = MethodId::from_index(method);
+        MethodVersion {
+            method: m,
+            level,
+            body: vec![],
+            num_regs: 0,
+            inline_map: InlineMap::baseline(m, 0),
+            code_size: size,
+            version_id: 0,
+        }
+    }
+
+    #[test]
+    fn install_and_lookup() {
+        let mut r = CodeRegistry::new(2);
+        assert!(r.current(MethodId::from_index(0)).is_none());
+        r.install(version(0, OptLevel::Baseline, 10));
+        assert!(r.current(MethodId::from_index(0)).is_some());
+        assert_eq!(r.baseline_compilations(), 1);
+        assert_eq!(r.cumulative_optimized_size(), 0);
+    }
+
+    #[test]
+    fn optimized_size_accounting() {
+        let mut r = CodeRegistry::new(1);
+        r.install(version(0, OptLevel::Baseline, 10));
+        r.install(version(0, OptLevel::Optimized, 100));
+        assert_eq!(r.cumulative_optimized_size(), 100);
+        assert_eq!(r.current_optimized_size(), 100);
+        // Recompilation replaces current but accumulates cumulative.
+        r.install(version(0, OptLevel::Optimized, 80));
+        assert_eq!(r.cumulative_optimized_size(), 180);
+        assert_eq!(r.current_optimized_size(), 80);
+        assert_eq!(r.opt_compilations(), 2);
+    }
+
+    #[test]
+    fn version_ids_are_unique_and_increasing() {
+        let mut r = CodeRegistry::new(1);
+        let a = r.install(version(0, OptLevel::Baseline, 1));
+        let b = r.install(version(0, OptLevel::Optimized, 1));
+        assert!(b.version_id > a.version_id);
+    }
+
+    #[test]
+    fn old_versions_survive_via_arc() {
+        let mut r = CodeRegistry::new(1);
+        let old = r.install(version(0, OptLevel::Baseline, 1));
+        r.install(version(0, OptLevel::Optimized, 5));
+        // A frame holding `old` can still execute it.
+        assert_eq!(old.level, OptLevel::Baseline);
+        assert_eq!(
+            r.current(MethodId::from_index(0)).unwrap().level,
+            OptLevel::Optimized
+        );
+    }
+}

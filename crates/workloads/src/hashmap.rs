@@ -1,0 +1,280 @@
+//! The paper's Figure 1 motivating example, as an AOCI program.
+//!
+//! `main` builds a small hash map, inserts a `MyKey` and a plain `Object`
+//! key, then `runTest` repeatedly calls `map.get(k1)` and `map.get(k2)`
+//! from two distinct call sites. Inside `HashMap.get`, `key.hashCode()` and
+//! `key.equals(...)` are virtual calls whose receiver class is **perfectly
+//! determined by which `runTest` call site we came through** — the shape
+//! where context-insensitive profiles see a useless 50/50 split but one
+//! extra level of context resolves every call (paper Figure 2).
+
+use aoci_ir::{BinOp, Cond, Program, ProgramBuilder, Reg};
+
+/// Builds the Figure 1 program. `iterations` controls how many times
+/// `runTest` executes its two `get` calls (the paper's example runs once;
+/// an online system needs repetition to gather profile).
+///
+/// The entry point returns the accumulated counter, so every lookup's
+/// result is observable.
+///
+/// # Panics
+///
+/// Never panics for `iterations >= 0`; the program is validated at build
+/// time.
+pub fn hashmap_test(iterations: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+
+    // Classes and fields.
+    let object = b.class("Object", None);
+    let mykey = b.class("MyKey", Some(object));
+    let f_key = b.field(mykey, "key");
+    let entry = b.class("HashMapEntry", None);
+    let f_ekey = b.field(entry, "key");
+    let f_eval = b.field(entry, "value");
+    let f_enext = b.field(entry, "next");
+    let hashmap = b.class("HashMap", None);
+    let f_table = b.field(hashmap, "elementData");
+
+    // Selectors.
+    let sel_hash = b.selector("hashCode", 0);
+    let sel_equals = b.selector("equals", 1);
+    let sel_get = b.selector("get", 1);
+    let sel_put = b.selector("put", 2);
+
+    // Object.hashCode — a fixed value (stands in for identity hash).
+    {
+        let mut m = b.virtual_method("Object.hashCode", object, sel_hash);
+        let r = m.fresh_reg();
+        m.const_int(r, 13);
+        m.ret(Some(r));
+        m.finish();
+    }
+    // Object.equals — reference identity.
+    {
+        let mut m = b.virtual_method("Object.equals", object, sel_equals);
+        let this = m.receiver().expect("virtual");
+        let other = m.param(0);
+        let r = m.fresh_reg();
+        let yes = m.label();
+        m.const_int(r, 0);
+        m.branch(Cond::Eq, this, other, yes);
+        m.ret(Some(r));
+        m.bind(yes);
+        m.const_int(r, 1);
+        m.ret(Some(r));
+        m.finish();
+    }
+    // MyKey.hashCode — returns the key field.
+    {
+        let mut m = b.virtual_method("MyKey.hashCode", mykey, sel_hash);
+        let this = m.receiver().expect("virtual");
+        let r = m.fresh_reg();
+        m.get_field(r, this, f_key);
+        m.ret(Some(r));
+        m.finish();
+    }
+    // MyKey.equals — `other instanceof MyKey && other.key == this.key`.
+    {
+        let mut m = b.virtual_method("MyKey.equals", mykey, sel_equals);
+        let this = m.receiver().expect("virtual");
+        let other = m.param(0);
+        let r = m.fresh_reg();
+        let is_key = m.fresh_reg();
+        let zero = m.fresh_reg();
+        let no = m.label();
+        m.const_int(zero, 0);
+        m.const_int(r, 0);
+        m.instance_of(is_key, other, mykey);
+        m.branch(Cond::Eq, is_key, zero, no);
+        let ok = m.fresh_reg();
+        let tk = m.fresh_reg();
+        m.get_field(ok, other, f_key);
+        m.get_field(tk, this, f_key);
+        m.branch(Cond::Ne, ok, tk, no);
+        m.const_int(r, 1);
+        m.bind(no);
+        m.ret(Some(r));
+        m.finish();
+    }
+
+    // HashMap.get(key) — the paper's simplified version.
+    {
+        let mut m = b.virtual_method("HashMap.get", hashmap, sel_get);
+        let this = m.receiver().expect("virtual");
+        let key = m.param(0);
+        let hash = m.fresh_reg();
+        m.call_virtual(Some(hash), sel_hash, key, &[]); // site 0: key.hashCode()
+        let mask = m.fresh_reg();
+        m.const_int(mask, 0x7FFF_FFFF);
+        m.bin(BinOp::And, hash, hash, mask);
+        let table = m.fresh_reg();
+        m.get_field(table, this, f_table);
+        let len = m.fresh_reg();
+        m.arr_len(len, table);
+        let index = m.fresh_reg();
+        m.bin(BinOp::Rem, index, hash, len);
+        let e = m.fresh_reg();
+        m.arr_get(e, table, index);
+        let null = m.fresh_reg();
+        m.const_null(null);
+        let loop_top = m.label();
+        let not_found = m.label();
+        let found = m.label();
+        let next_entry = m.label();
+        let eq = m.fresh_reg();
+        let ekey = m.fresh_reg();
+        let zero = m.fresh_reg();
+        m.const_int(zero, 0);
+        m.bind(loop_top);
+        m.branch(Cond::Eq, e, null, not_found);
+        m.get_field(ekey, e, f_ekey);
+        m.branch(Cond::Eq, ekey, key, found); // identity fast path
+        m.call_virtual(Some(eq), sel_equals, key, &[ekey]); // site 1: key.equals(...)
+        m.branch(Cond::Ne, eq, zero, found);
+        m.jump(next_entry);
+        m.bind(next_entry);
+        m.get_field(e, e, f_enext);
+        m.jump(loop_top);
+        m.bind(found);
+        let v = m.fresh_reg();
+        m.get_field(v, e, f_eval);
+        m.ret(Some(v));
+        m.bind(not_found);
+        let mi = m.fresh_reg();
+        m.const_int(mi, -1);
+        m.ret(Some(mi));
+        m.finish();
+    }
+
+    // HashMap.put(key, value).
+    {
+        let mut m = b.virtual_method("HashMap.put", hashmap, sel_put);
+        let this = m.receiver().expect("virtual");
+        let key = m.param(0);
+        let value = m.param(1);
+        let hash = m.fresh_reg();
+        m.call_virtual(Some(hash), sel_hash, key, &[]);
+        let mask = m.fresh_reg();
+        m.const_int(mask, 0x7FFF_FFFF);
+        m.bin(BinOp::And, hash, hash, mask);
+        let table = m.fresh_reg();
+        m.get_field(table, this, f_table);
+        let len = m.fresh_reg();
+        m.arr_len(len, table);
+        let index = m.fresh_reg();
+        m.bin(BinOp::Rem, index, hash, len);
+        let e = m.fresh_reg();
+        m.new_obj(e, entry);
+        m.put_field(e, f_ekey, key);
+        m.put_field(e, f_eval, value);
+        let head = m.fresh_reg();
+        m.arr_get(head, table, index);
+        m.put_field(e, f_enext, head);
+        m.arr_set(table, index, e);
+        m.ret(None);
+        m.finish();
+    }
+
+    // runTest(k1, k2, map, iters) — the two context-distinguishing sites.
+    let run_test = {
+        let mut m = b.static_method("runTest", 4);
+        let k1 = m.param(0);
+        let k2 = m.param(1);
+        let map = m.param(2);
+        let iters = m.param(3);
+        let counter = m.fresh_reg();
+        let i = m.fresh_reg();
+        let one = m.fresh_reg();
+        let r: Reg = m.fresh_reg();
+        m.const_int(counter, 0);
+        m.const_int(i, 0);
+        m.const_int(one, 1);
+        let top = m.label();
+        let out = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, i, iters, out);
+        m.call_virtual(Some(r), sel_get, map, &[k1]); // site 0: MyKey path
+        m.bin(BinOp::Add, counter, counter, r);
+        m.call_virtual(Some(r), sel_get, map, &[k2]); // site 1: Object path
+        m.bin(BinOp::Add, counter, counter, r);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(top);
+        m.bind(out);
+        m.ret(Some(counter));
+        m.finish()
+    };
+
+    // main — sets up keys and the map, then runs the test loop.
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let k1 = m.fresh_reg();
+        m.new_obj(k1, mykey);
+        let kv = m.fresh_reg();
+        // 29 % 16 == 13 % 16: both keys share a bucket, so `key.equals`
+        // genuinely executes during lookups (as in the paper's discussion).
+        m.const_int(kv, 29);
+        m.put_field(k1, f_key, kv);
+        let k2 = m.fresh_reg();
+        m.new_obj(k2, object);
+        let map = m.fresh_reg();
+        m.new_obj(map, hashmap);
+        let sz = m.fresh_reg();
+        m.const_int(sz, 16);
+        let table = m.fresh_reg();
+        m.arr_new(table, sz);
+        m.put_field(map, f_table, table);
+        let v1 = m.fresh_reg();
+        m.const_int(v1, 1);
+        m.call_virtual(None, sel_put, map, &[k1, v1]);
+        let v2 = m.fresh_reg();
+        m.const_int(v2, 2);
+        m.call_virtual(None, sel_put, map, &[k2, v2]);
+        let it = m.fresh_reg();
+        m.const_int(it, iterations);
+        let r = m.fresh_reg();
+        m.call_static(Some(r), run_test, &[k1, k2, map, it]);
+        m.ret(Some(r));
+        m.finish()
+    };
+
+    b.finish(main).expect("hashmap_test is a valid program")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_names_match_figure_1() {
+        let p = hashmap_test(1);
+        for name in [
+            "Object.hashCode",
+            "MyKey.hashCode",
+            "Object.equals",
+            "MyKey.equals",
+            "HashMap.get",
+            "HashMap.put",
+            "runTest",
+            "main",
+        ] {
+            assert!(p.method_by_name(name).is_some(), "missing {name}");
+        }
+        assert!(p.class_by_name("MyKey").is_some());
+    }
+
+    #[test]
+    fn hash_code_site_is_polymorphic_under_cha() {
+        let p = hashmap_test(1);
+        let get = p.method_by_name("HashMap.get").unwrap();
+        // The hashCode selector has two implementations — guarded inlining
+        // territory, exactly the paper's setup.
+        let m = p.method(get);
+        let (_, instr) = m.call_sites().next().expect("hashCode call");
+        match instr {
+            aoci_ir::Instr::CallVirtual { selector, .. } => {
+                assert_eq!(p.implementations(*selector).len(), 2);
+            }
+            other => panic!("expected a virtual call, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # aoci-workloads — benchmark programs
+//!
+//! The evaluation substrate for the AOCI reproduction. SPECjvm98 and
+//! SPECjbb2000 (paper Table 1) are not redistributable, so this crate
+//! provides:
+//!
+//! * [`hashmap_test`] — a faithful port of the paper's **Figure 1**
+//!   motivating example: a hash map whose `get` virtually calls
+//!   `hashCode`/`equals` on keys of two classes, reached from two call
+//!   sites whose key class is perfectly context-determined;
+//! * a seeded **synthetic workload generator** ([`WorkloadSpec`] /
+//!   [`build`]) producing layered object-oriented programs with
+//!   configurable class counts, method-size mix, polymorphism degree,
+//!   *context correlation* (how strongly the calling context determines
+//!   virtual receivers), call-chain depth and phase behaviour;
+//! * [`suite`] — eight named workloads (`compress`, `jess`, `db`, `javac`,
+//!   `mpegaudio`, `mtrt`, `jack`, `jbb`) whose parameters are chosen to
+//!   echo each SPEC benchmark's Table 1 size statistics and the qualitative
+//!   behaviour the paper reports for it.
+//!
+//! ```
+//! use aoci_workloads::{suite, build};
+//!
+//! let specs = suite();
+//! assert_eq!(specs.len(), 8);
+//! let w = build(&specs[0]); // compress
+//! assert!(w.program.num_methods() > 50);
+//! ```
+
+#![warn(missing_docs)]
+
+mod generator;
+mod hashmap;
+mod spec;
+
+pub use generator::{build, Workload};
+pub use hashmap::hashmap_test;
+pub use spec::{suite, spec_by_name, SizeMix, WorkloadSpec};

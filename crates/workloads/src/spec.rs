@@ -1,0 +1,289 @@
+//! Workload specifications: the knobs the generator understands, plus the
+//! eight named suite entries standing in for SPECjvm98 + SPECjbb2000.
+
+/// Weights of the method-size classes used when sampling body sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeMix {
+    /// Weight of tiny bodies (< 2× call size).
+    pub tiny: u32,
+    /// Weight of small bodies (2–5×).
+    pub small: u32,
+    /// Weight of medium bodies (5–25×).
+    pub medium: u32,
+    /// Weight of large bodies (> 25×).
+    pub large: u32,
+}
+
+impl SizeMix {
+    /// A balanced object-oriented mix.
+    pub fn balanced() -> Self {
+        SizeMix { tiny: 30, small: 35, medium: 25, large: 10 }
+    }
+}
+
+/// Parameters of one synthetic workload.
+///
+/// The generator builds a layered call graph: `main` drives `top_sites`
+/// call sites into the first layer of *middle* methods (each taking a
+/// context argument), middle layers call downward, and the bottom layer
+/// calls into *kernel* families — groups of virtual methods implementing a
+/// shared selector across a small class hierarchy. Virtual receiver choice
+/// is either **context-correlated** (a pure function of the context value
+/// flowing down the call chain — one extra profile level fully predicts
+/// the target) or **iteration-varying** (driven by a global counter — no
+/// amount of context helps).
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Workload name (Table 1 row).
+    pub name: &'static str,
+    /// RNG seed — workloads are fully deterministic.
+    pub seed: u64,
+    /// Number of kernel families (each contributes `impls_per_family`
+    /// classes and virtual methods).
+    pub families: usize,
+    /// Implementations (classes) per family.
+    pub impls_per_family: usize,
+    /// Number of middle layers between `main` and the kernels.
+    pub layers: usize,
+    /// Middle methods per layer.
+    pub methods_per_layer: usize,
+    /// Call sites per middle method.
+    pub calls_per_method: usize,
+    /// Fraction (0–1) of middle call sites that are virtual kernel calls
+    /// (the rest are static calls to the next layer).
+    pub virtual_fraction: f64,
+    /// Fraction (0–1) of virtual sites whose receiver is context-
+    /// correlated; the rest vary per iteration.
+    pub context_correlation: f64,
+    /// Fraction (0–1) of middle methods that are parameterless (reading
+    /// their context from a global) — early-termination fodder for the
+    /// *Parameterless Methods* policy.
+    pub parameterless_fraction: f64,
+    /// Fraction (0–1) of middle methods that are *instance* methods
+    /// (virtual, on a per-layer service class with a single implementation).
+    /// The rest are class (static) methods — the *Class Methods* policy
+    /// terminates trace walks at the first of those.
+    pub instance_middle_fraction: f64,
+    /// Fraction (0–1) of kernel methods taking one parameter (the rest are
+    /// receiver-only, i.e. parameterless).
+    pub kernel_with_param_fraction: f64,
+    /// Method body size mix for middle methods.
+    pub middle_sizes: SizeMix,
+    /// Method body size mix for kernel methods.
+    pub kernel_sizes: SizeMix,
+    /// Call sites in `main`'s loop body (each with a distinct constant
+    /// context — the source of context diversity).
+    pub top_sites: usize,
+    /// Main-loop iterations (run length).
+    pub iterations: i64,
+    /// Shift the receiver mapping halfway through the run (exercises the
+    /// decay organizer).
+    pub phase_shift: bool,
+}
+
+/// Returns the eight-workload suite, in the paper's Table 1 order.
+///
+/// Parameters echo each benchmark's scale (classes / methods / bytecodes)
+/// and the qualitative traits the paper reports: `compress` and `mpegaudio`
+/// are loop-heavy and nearly monomorphic, `jess` is class-rich, highly
+/// polymorphic, context-predictable and short-running, `db` is small but
+/// context-dependent, `javac` is large with deep call chains (profile-
+/// dilution-prone), `mtrt` and `jack` are moderate, and `jbb` is the
+/// largest, with a warehouse-style phase shift.
+pub fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "compress",
+            seed: 0xC0_0001,
+            families: 6,
+            impls_per_family: 2,
+            layers: 4,
+            methods_per_layer: 20,
+            calls_per_method: 2,
+            virtual_fraction: 0.15,
+            context_correlation: 0.5,
+            parameterless_fraction: 0.2,
+            instance_middle_fraction: 0.25,
+            kernel_with_param_fraction: 0.5,
+            middle_sizes: SizeMix { tiny: 10, small: 25, medium: 35, large: 30 },
+            kernel_sizes: SizeMix { tiny: 20, small: 30, medium: 30, large: 20 },
+            top_sites: 4,
+            iterations: 6_000,
+            phase_shift: false,
+        },
+        WorkloadSpec {
+            name: "jess",
+            seed: 0xC0_0002,
+            families: 26,
+            impls_per_family: 3,
+            layers: 5,
+            methods_per_layer: 36,
+            calls_per_method: 3,
+            virtual_fraction: 0.55,
+            context_correlation: 0.85,
+            parameterless_fraction: 0.25,
+            instance_middle_fraction: 0.6,
+            kernel_with_param_fraction: 0.4,
+            middle_sizes: SizeMix { tiny: 40, small: 35, medium: 20, large: 5 },
+            kernel_sizes: SizeMix { tiny: 45, small: 35, medium: 18, large: 2 },
+            top_sites: 8,
+            iterations: 2_500,
+            phase_shift: false,
+        },
+        WorkloadSpec {
+            name: "db",
+            seed: 0xC0_0003,
+            families: 6,
+            impls_per_family: 2,
+            layers: 4,
+            methods_per_layer: 22,
+            calls_per_method: 2,
+            virtual_fraction: 0.5,
+            context_correlation: 0.9,
+            parameterless_fraction: 0.15,
+            instance_middle_fraction: 0.45,
+            kernel_with_param_fraction: 0.6,
+            middle_sizes: SizeMix { tiny: 20, small: 30, medium: 40, large: 10 },
+            kernel_sizes: SizeMix { tiny: 10, small: 30, medium: 50, large: 10 },
+            top_sites: 4,
+            iterations: 7_000,
+            phase_shift: false,
+        },
+        WorkloadSpec {
+            name: "javac",
+            seed: 0xC0_0004,
+            families: 26,
+            impls_per_family: 3,
+            layers: 8,
+            methods_per_layer: 42,
+            calls_per_method: 3,
+            virtual_fraction: 0.45,
+            context_correlation: 0.6,
+            parameterless_fraction: 0.2,
+            instance_middle_fraction: 0.55,
+            kernel_with_param_fraction: 0.5,
+            middle_sizes: SizeMix::balanced(),
+            kernel_sizes: SizeMix { tiny: 30, small: 35, medium: 25, large: 10 },
+            top_sites: 10,
+            iterations: 4_000,
+            phase_shift: false,
+        },
+        WorkloadSpec {
+            name: "mpegaudio",
+            seed: 0xC0_0005,
+            families: 10,
+            impls_per_family: 2,
+            layers: 5,
+            methods_per_layer: 26,
+            calls_per_method: 2,
+            virtual_fraction: 0.2,
+            context_correlation: 0.6,
+            parameterless_fraction: 0.2,
+            instance_middle_fraction: 0.3,
+            kernel_with_param_fraction: 0.6,
+            middle_sizes: SizeMix { tiny: 10, small: 20, medium: 40, large: 30 },
+            kernel_sizes: SizeMix { tiny: 10, small: 25, medium: 40, large: 25 },
+            top_sites: 5,
+            iterations: 7_000,
+            phase_shift: false,
+        },
+        WorkloadSpec {
+            name: "mtrt",
+            seed: 0xC0_0006,
+            families: 12,
+            impls_per_family: 2,
+            layers: 5,
+            methods_per_layer: 24,
+            calls_per_method: 3,
+            virtual_fraction: 0.5,
+            context_correlation: 0.75,
+            parameterless_fraction: 0.2,
+            instance_middle_fraction: 0.5,
+            kernel_with_param_fraction: 0.5,
+            middle_sizes: SizeMix { tiny: 35, small: 35, medium: 22, large: 8 },
+            kernel_sizes: SizeMix { tiny: 40, small: 35, medium: 20, large: 5 },
+            top_sites: 6,
+            iterations: 5_000,
+            phase_shift: false,
+        },
+        WorkloadSpec {
+            name: "jack",
+            seed: 0xC0_0007,
+            families: 14,
+            impls_per_family: 2,
+            layers: 6,
+            methods_per_layer: 26,
+            calls_per_method: 3,
+            virtual_fraction: 0.4,
+            context_correlation: 0.7,
+            parameterless_fraction: 0.3,
+            instance_middle_fraction: 0.45,
+            kernel_with_param_fraction: 0.4,
+            middle_sizes: SizeMix::balanced(),
+            kernel_sizes: SizeMix { tiny: 35, small: 35, medium: 22, large: 8 },
+            top_sites: 6,
+            iterations: 4_500,
+            phase_shift: false,
+        },
+        WorkloadSpec {
+            name: "jbb",
+            seed: 0xC0_0008,
+            families: 22,
+            impls_per_family: 3,
+            layers: 7,
+            methods_per_layer: 46,
+            calls_per_method: 3,
+            virtual_fraction: 0.5,
+            context_correlation: 0.75,
+            parameterless_fraction: 0.2,
+            instance_middle_fraction: 0.55,
+            kernel_with_param_fraction: 0.5,
+            middle_sizes: SizeMix::balanced(),
+            kernel_sizes: SizeMix { tiny: 30, small: 35, medium: 25, large: 10 },
+            top_sites: 10,
+            iterations: 6_000,
+            phase_shift: true,
+        },
+    ]
+}
+
+/// Looks up a suite workload by name.
+pub fn spec_by_name(name: &str) -> Option<WorkloadSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table_1_roster() {
+        let names: Vec<&str> = suite().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack", "jbb"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(spec_by_name("jess").is_some());
+        assert!(spec_by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn fractions_are_valid() {
+        for s in suite() {
+            for f in [
+                s.virtual_fraction,
+                s.context_correlation,
+                s.parameterless_fraction,
+                s.kernel_with_param_fraction,
+            ] {
+                assert!((0.0..=1.0).contains(&f), "{}: bad fraction {f}", s.name);
+            }
+            assert!(s.iterations > 0);
+            assert!(s.impls_per_family >= 2);
+        }
+    }
+}

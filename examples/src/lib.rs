@@ -1,0 +1,11 @@
+//! Runnable examples for the AOCI reproduction.
+//!
+//! * `quickstart` — build a tiny program and run it under the adaptive
+//!   optimization system.
+//! * `hashmap_context` — the paper's Figure 1/2 motivating example:
+//!   context-insensitive vs context-sensitive inlining decisions on the
+//!   HashMap program.
+//! * `policy_sweep` — compare every context-sensitivity policy on one
+//!   workload.
+//! * `phase_shift` — the decay organizer adapting to a program phase
+//!   change.

@@ -1,0 +1,165 @@
+//! Property-based tests on the profiling data structures: trace keys,
+//! the dynamic call graph and rule-set queries.
+
+use aoci_ir::{CallSiteRef, MethodId, SiteIdx};
+use aoci_profile::{Dcg, DcgConfig, TraceKey};
+use aoci_core::RuleSet;
+use proptest::prelude::*;
+
+fn cs_strategy() -> impl Strategy<Value = CallSiteRef> {
+    (0usize..8, 0u16..4)
+        .prop_map(|(m, s)| CallSiteRef::new(MethodId::from_index(m), SiteIdx(s)))
+}
+
+fn trace_strategy() -> impl Strategy<Value = TraceKey> {
+    (0usize..8, prop::collection::vec(cs_strategy(), 1..5))
+        .prop_map(|(callee, ctx)| TraceKey::new(MethodId::from_index(callee), ctx))
+}
+
+proptest! {
+    /// Every prefix of a trace partial-matches it (and vice versa), and the
+    /// trace extends each of its prefixes.
+    #[test]
+    fn prefixes_always_match(trace in trace_strategy(), k in 1usize..5) {
+        let k = k.min(trace.depth());
+        let prefix = trace.prefix(k);
+        prop_assert!(trace.partial_matches(&prefix));
+        prop_assert!(prefix.partial_matches(&trace));
+        prop_assert!(trace.extends(&prefix));
+        prop_assert_eq!(prefix.depth(), k);
+        prop_assert_eq!(prefix.immediate_caller(), trace.immediate_caller());
+    }
+
+    /// Partial matching is symmetric and reflexive.
+    #[test]
+    fn partial_match_symmetry(a in trace_strategy(), b in trace_strategy()) {
+        prop_assert!(a.partial_matches(&a));
+        prop_assert_eq!(a.partial_matches(&b), b.partial_matches(&a));
+    }
+
+    /// The DCG's incremental total always equals the sum of its entries,
+    /// through arbitrary record/decay interleavings.
+    #[test]
+    fn dcg_total_weight_invariant(
+        ops in prop::collection::vec(
+            prop_oneof![
+                (trace_strategy(), 0.1f64..10.0).prop_map(|(t, w)| (Some((t, w)), 0.0)),
+                (0.5f64..1.0).prop_map(|f| (None, f)),
+            ],
+            1..40,
+        )
+    ) {
+        let mut dcg = Dcg::new(DcgConfig::default());
+        for (record, decay) in ops {
+            match record {
+                Some((t, w)) => dcg.record(t, w),
+                None => dcg.decay(decay),
+            }
+            let sum: f64 = dcg.iter().map(|(_, w)| w).sum();
+            prop_assert!((dcg.total_weight() - sum).abs() < 1e-6,
+                "total {} != sum {sum}", dcg.total_weight());
+        }
+    }
+
+    /// Every hot trace really holds at least the threshold fraction, and
+    /// hot output is sorted by descending weight.
+    #[test]
+    fn hot_respects_threshold(
+        entries in prop::collection::vec((trace_strategy(), 0.1f64..10.0), 1..30),
+        threshold in 0.01f64..0.5,
+    ) {
+        let mut dcg = Dcg::new(DcgConfig::default());
+        for (t, w) in entries {
+            dcg.record(t, w);
+        }
+        let hot = dcg.hot(threshold);
+        for h in &hot {
+            prop_assert!(h.fraction >= threshold - 1e-12);
+            prop_assert!((h.weight / dcg.total_weight() - h.fraction).abs() < 1e-9);
+        }
+        for pair in hot.windows(2) {
+            prop_assert!(pair[0].weight >= pair[1].weight);
+        }
+    }
+
+    /// Rule-set candidate targets always come from applicable rules, and a
+    /// lone rule queried with its own full context yields its callee.
+    #[test]
+    fn candidates_are_sound(
+        rules in prop::collection::vec((trace_strategy(), 0.5f64..5.0), 1..20),
+        probe in trace_strategy(),
+    ) {
+        let total: f64 = rules.iter().map(|(_, w)| w).sum();
+        let set = RuleSet::from_rules(rules.clone(), total);
+        let candidates = set.candidates(probe.context());
+        let applicable_callees: Vec<MethodId> = set
+            .applicable(probe.context())
+            .iter()
+            .map(|r| r.trace.callee())
+            .collect();
+        for (c, w) in &candidates {
+            prop_assert!(applicable_callees.contains(c));
+            prop_assert!(*w > 0.0);
+        }
+
+        // A singleton rule set answers its own context.
+        let (lone, w) = rules[0].clone();
+        let lone_set = RuleSet::from_rules([(lone.clone(), w)], w);
+        let own = lone_set.candidates(lone.context());
+        prop_assert_eq!(own, vec![(lone.callee(), w)]);
+    }
+
+    /// Merge-on-collect (the ablation mode) conserves total weight.
+    #[test]
+    fn merge_mode_conserves_weight(
+        entries in prop::collection::vec((trace_strategy(), 0.1f64..10.0), 1..30),
+    ) {
+        let mut plain = Dcg::new(DcgConfig::default());
+        let mut merged = Dcg::new(DcgConfig { merge_on_collect: true, ..DcgConfig::default() });
+        for (t, w) in entries {
+            plain.record(t.clone(), w);
+            merged.record(t, w);
+        }
+        prop_assert!((plain.total_weight() - merged.total_weight()).abs() < 1e-9);
+        prop_assert!(merged.len() <= plain.len());
+    }
+}
+
+proptest! {
+    /// The calling-context tree and the flat DCG are interchangeable
+    /// representations: identical inputs give identical totals, entry sets
+    /// and hot extractions.
+    #[test]
+    fn cct_and_flat_dcg_agree(
+        entries in prop::collection::vec((trace_strategy(), 0.1f64..10.0), 1..40),
+        threshold in 0.01f64..0.3,
+    ) {
+        use aoci_profile::{CallingContextTree, ProfileStore};
+        let mut flat = Dcg::new(DcgConfig::default());
+        let mut cct = CallingContextTree::default();
+        for (t, w) in &entries {
+            ProfileStore::record(&mut flat, t.clone(), *w);
+            cct.record(t.clone(), *w);
+        }
+        prop_assert!((ProfileStore::total_weight(&flat) - cct.total_weight()).abs() < 1e-6);
+        prop_assert_eq!(ProfileStore::len(&flat), cct.len());
+
+        let mut a: Vec<_> = ProfileStore::entries(&flat);
+        let mut b: Vec<_> = cct.entries();
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        prop_assert_eq!(a.len(), b.len());
+        for ((ka, wa), (kb, wb)) in a.iter().zip(&b) {
+            prop_assert_eq!(ka, kb);
+            prop_assert!((wa - wb).abs() < 1e-9);
+        }
+
+        let ha = ProfileStore::hot(&flat, threshold);
+        let hb = cct.hot(threshold);
+        prop_assert_eq!(ha.len(), hb.len());
+        for (x, y) in ha.iter().zip(&hb) {
+            prop_assert_eq!(&x.key, &y.key);
+            prop_assert!((x.weight - y.weight).abs() < 1e-9);
+        }
+    }
+}
