@@ -1,9 +1,68 @@
 //! Configuration of the adaptive optimization system.
 
+use crate::fault::FaultConfig;
 use aoci_core::{AdaptiveConfig, MatchMode, PolicyKind};
 use aoci_opt::OptConfig;
 use aoci_profile::DcgConfig;
 use aoci_vm::{CostModel, VmConfig};
+
+/// Tunables of the recovery layer: guard-thrash invalidation, compile
+/// retry/backoff, and quarantine. Trace sanitization and compile
+/// retry/backoff are always active (they cost nothing on clean runs);
+/// guard-health monitoring runs when [`RecoveryConfig::monitor_guard_health`]
+/// is set or fault injection is on, and organic guard thrash (a phase
+/// shift defeating a speculative inline) then takes the same path as
+/// injected thrash.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Whether guard-health monitoring (and thrash invalidation) runs even
+    /// without fault injection. Defaults to `false`: a guarded inline that
+    /// misses falls back to virtual dispatch — degraded, never wrong — and
+    /// the paper's AOS adapts to receiver shifts through decay and
+    /// recompilation, not deoptimization, so unconditional monitoring
+    /// would distort the reproduction sweeps. Fault injection
+    /// (`AosConfig::fault`) enables monitoring automatically, since an
+    /// adversary that bursts guard misses is exactly what invalidation is
+    /// for.
+    pub monitor_guard_health: bool,
+    /// Guard-miss rate (misses / checks over the current observation
+    /// window) above which an optimized version is invalidated. The
+    /// default is deliberately high: a guarded inline of one target of a
+    /// 50/50 polymorphic site misses ~half its checks *by design* (the
+    /// virtual fallback keeps it profitable), so only near-total miss
+    /// rates — a phase shift defeating the speculation outright, or an
+    /// adversarial receiver burst — count as thrash.
+    pub guard_miss_threshold: f64,
+    /// Minimum guard checks in the window before the rate is meaningful.
+    pub guard_miss_min_checks: u64,
+    /// Backoff before the first compile retry, in simulated cycles;
+    /// doubles per consecutive failure of the same method.
+    pub retry_backoff_base_cycles: u64,
+    /// Upper bound on the per-retry backoff, in simulated cycles.
+    pub retry_backoff_cap_cycles: u64,
+    /// Consecutive compile failures (or repeated invalidations) of one
+    /// method after which it is quarantined: blocked from optimizing
+    /// compilation for the rest of the run.
+    pub quarantine_after_failures: u32,
+    /// Cycles charged to [`Component::Recovery`](aoci_vm::Component) per
+    /// recovery event (invalidation, retry scheduling, quarantine,
+    /// rejected trace).
+    pub recovery_cost_per_event: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            monitor_guard_health: false,
+            guard_miss_threshold: 0.9,
+            guard_miss_min_checks: 48,
+            retry_backoff_base_cycles: 25_000,
+            retry_backoff_cap_cycles: 400_000,
+            quarantine_after_failures: 3,
+            recovery_cost_per_event: 200,
+        }
+    }
+}
 
 /// Which profile-data representation backs the dynamic call graph.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -65,6 +124,11 @@ pub struct AosConfig {
     pub organizer_cost_per_item: u64,
     /// Controller cost: cycles charged per event considered.
     pub controller_cost_per_event: u64,
+    /// Recovery-layer tunables (always active).
+    pub recovery: RecoveryConfig,
+    /// Fault injection; `None` (the default) runs faultless and the system
+    /// is bit-identical to one built before this subsystem existed.
+    pub fault: Option<FaultConfig>,
 }
 
 impl AosConfig {
@@ -89,6 +153,8 @@ impl AosConfig {
             vm: VmConfig::default(),
             organizer_cost_per_item: 12,
             controller_cost_per_event: 150,
+            recovery: RecoveryConfig::default(),
+            fault: None,
         }
     }
 

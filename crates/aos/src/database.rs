@@ -48,6 +48,12 @@ pub struct AosDatabase {
     /// inline, or the context intersection blocked it). The missing-edge
     /// organizer skips these to avoid recompilation churn.
     unrealized: HashSet<(MethodId, CallSiteRef, MethodId)>,
+    /// Methods whose optimized version was invalidated and not yet
+    /// replaced: compiled at least once, but *not currently* optimized —
+    /// the hot-methods organizer may select them again.
+    invalidated: HashSet<MethodId>,
+    /// Per method: how many times its optimized code has been invalidated.
+    invalidation_counts: HashMap<MethodId, u32>,
 }
 
 impl AosDatabase {
@@ -65,6 +71,7 @@ impl AosDatabase {
         ai_generation: u64,
     ) {
         *self.recompiles.entry(method).or_insert(0) += 1;
+        self.invalidated.remove(&method);
         self.compiled_generation.insert(method, ai_generation);
         self.compilation_log.push(CompilationRecord {
             method,
@@ -119,14 +126,33 @@ impl AosDatabase {
         self.recompiles.get(&method).copied().unwrap_or(0)
     }
 
-    /// Returns `true` if `method` has been optimize-compiled at least once.
+    /// Returns `true` if `method` *currently* holds an optimized version:
+    /// compiled at least once and not since invalidated.
     pub fn is_optimized(&self, method: MethodId) -> bool {
-        self.recompiles(method) > 0
+        self.recompiles(method) > 0 && !self.invalidated.contains(&method)
     }
 
     /// Methods currently holding an optimized version.
     pub fn optimized_methods(&self) -> impl Iterator<Item = MethodId> + '_ {
-        self.recompiles.keys().copied()
+        self.recompiles
+            .keys()
+            .copied()
+            .filter(|m| !self.invalidated.contains(m))
+    }
+
+    /// Records that `method`'s optimized version was invalidated (guard
+    /// thrash): its inline set is cleared and it is no longer *currently*
+    /// optimized, so the hot-methods organizer may select it for a fresh
+    /// compilation; its cumulative compilation history is preserved.
+    pub fn record_invalidation(&mut self, method: MethodId) {
+        self.inlined.remove(&method);
+        self.invalidated.insert(method);
+        *self.invalidation_counts.entry(method).or_insert(0) += 1;
+    }
+
+    /// How many times `method`'s optimized code has been invalidated.
+    pub fn times_invalidated(&self, method: MethodId) -> u32 {
+        self.invalidation_counts.get(&method).copied().unwrap_or(0)
     }
 
     /// Full decision log, in compilation order.
@@ -210,6 +236,30 @@ mod tests {
         assert_eq!(db.recompiles(mid(0)), 1);
         assert_eq!(db.decision_log().len(), 1);
         assert_eq!(db.refusal_log().len(), 2);
+    }
+
+    #[test]
+    fn invalidation_revokes_current_status_but_keeps_history() {
+        let mut db = AosDatabase::new();
+        db.record_compilation(
+            mid(0),
+            &compilation(
+                vec![InlineDecision { context: vec![cs(0, 0)], callee: mid(1), guarded: true }],
+                vec![],
+            ),
+            1,
+        );
+        assert!(db.is_optimized(mid(0)));
+        db.record_invalidation(mid(0));
+        assert!(!db.is_optimized(mid(0)), "invalidated ⇒ not currently optimized");
+        assert!(!db.has_inlined(mid(0), cs(0, 0), mid(1)), "inline set cleared");
+        assert_eq!(db.recompiles(mid(0)), 1, "compile history survives");
+        assert_eq!(db.times_invalidated(mid(0)), 1);
+        assert_eq!(db.optimized_methods().count(), 0);
+        // A fresh compilation restores currently-optimized status.
+        db.record_compilation(mid(0), &compilation(vec![], vec![]), 2);
+        assert!(db.is_optimized(mid(0)));
+        assert_eq!(db.optimized_methods().count(), 1);
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Seeded, deterministic fault injection for robustness testing.
+//!
+//! The paper's adaptive optimization system assumes a cooperative
+//! environment: compilations succeed, profile data is well-formed, the
+//! sampler never misses. A production VM gets none of those guarantees.
+//! This module provides the adversary: a [`FaultInjector`] that, driven by
+//! its own seeded RNG (independent of program execution), perturbs the
+//! system at its trust boundaries —
+//!
+//! * **compile-thread bailouts** — an optimizing compilation aborts partway
+//!   (simulating a compiler bug or resource exhaustion);
+//! * **oversized-code bailouts** — the compilation finishes but the
+//!   generated code trips the code-space guard and is discarded;
+//! * **trace corruption** — profile traces arrive with unknown method or
+//!   call-site indices, or NaN / negative weights;
+//! * **sampler dropouts** — a timer sample is lost before the listeners
+//!   see it;
+//! * **receiver bursts** — an adversarial phase shift floods an optimized
+//!   method's inline guards with miss-path receivers, forcing guard thrash.
+//!
+//! Everything is deterministic for a given [`FaultConfig::seed`]: the same
+//! configuration over the same program produces the same fault schedule,
+//! which is what makes backoff and recovery behaviour unit-testable.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Probabilities and intensities of each injected fault class.
+///
+/// `Default` disables every fault (all probabilities zero) — an injector
+/// built from it is a deterministic no-op, so production configurations pay
+/// nothing. Use [`FaultConfig::chaos`] for an everything-on profile.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Seed of the injector's private RNG.
+    pub seed: u64,
+    /// Probability that an optimizing compilation bails out partway.
+    pub compile_bailout_prob: f64,
+    /// Probability that a completed compilation is rejected as oversized.
+    pub oversize_code_prob: f64,
+    /// Probability that a drained profile trace is corrupted.
+    pub trace_corruption_prob: f64,
+    /// Probability that a timer sample is dropped before the listeners.
+    pub sampler_dropout_prob: f64,
+    /// Probability (per sample) of an adversarial receiver burst against
+    /// one currently-optimized method.
+    pub receiver_burst_prob: f64,
+    /// Synthetic guard misses delivered by one receiver burst.
+    pub receiver_burst_misses: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0x5EED,
+            compile_bailout_prob: 0.0,
+            oversize_code_prob: 0.0,
+            trace_corruption_prob: 0.0,
+            sampler_dropout_prob: 0.0,
+            receiver_burst_prob: 0.0,
+            receiver_burst_misses: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// An everything-on profile: every fault class enabled at rates high
+    /// enough that short runs exercise all recovery paths.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            compile_bailout_prob: 0.25,
+            oversize_code_prob: 0.10,
+            trace_corruption_prob: 0.20,
+            sampler_dropout_prob: 0.10,
+            receiver_burst_prob: 0.05,
+            receiver_burst_misses: 96,
+        }
+    }
+
+    /// Returns `true` if every fault class is disabled.
+    pub fn is_inert(&self) -> bool {
+        self.compile_bailout_prob == 0.0
+            && self.oversize_code_prob == 0.0
+            && self.trace_corruption_prob == 0.0
+            && self.sampler_dropout_prob == 0.0
+            && self.receiver_burst_prob == 0.0
+    }
+}
+
+/// How an injected compilation failure presents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompileFault {
+    /// The compilation aborted partway; only its fixed overhead was spent.
+    Bailout,
+    /// The compilation completed (full cost) but the generated code was
+    /// rejected by the code-space guard and discarded.
+    Oversize,
+}
+
+/// How an injected trace corruption presents.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceCorruption {
+    /// The callee method index is replaced with a non-existent one.
+    UnknownCallee,
+    /// A context call-site index is replaced with an out-of-range one.
+    UnknownCallSite,
+    /// The weight becomes NaN.
+    NanWeight,
+    /// The weight becomes negative.
+    NegativeWeight,
+}
+
+/// Counters of every fault the injector actually delivered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Compile-thread bailouts injected.
+    pub compile_bailouts: u64,
+    /// Oversized-code rejections injected.
+    pub oversize_rejections: u64,
+    /// Profile traces corrupted.
+    pub corrupted_traces: u64,
+    /// Timer samples dropped.
+    pub dropped_samples: u64,
+    /// Receiver bursts delivered.
+    pub receiver_bursts: u64,
+}
+
+/// The fault injector: draws from its own seeded RNG at each decision
+/// point, so the fault schedule is a pure function of the seed and the
+/// sequence of queries (which is deterministic for a deterministic system).
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: SmallRng,
+    injected: InjectedFaults,
+}
+
+impl FaultInjector {
+    /// Creates an injector from `config`, seeding its private RNG.
+    pub fn new(config: FaultConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        FaultInjector { config, rng, injected: InjectedFaults::default() }
+    }
+
+    /// The configuration this injector was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Counters of faults delivered so far.
+    pub fn injected(&self) -> InjectedFaults {
+        self.injected
+    }
+
+    /// Consulted once per optimizing compilation: should it fail, and how?
+    pub fn compile_fault(&mut self) -> Option<CompileFault> {
+        if self.roll(self.config.compile_bailout_prob) {
+            self.injected.compile_bailouts += 1;
+            return Some(CompileFault::Bailout);
+        }
+        if self.roll(self.config.oversize_code_prob) {
+            self.injected.oversize_rejections += 1;
+            return Some(CompileFault::Oversize);
+        }
+        None
+    }
+
+    /// Consulted once per timer sample: is this sample lost?
+    pub fn drop_sample(&mut self) -> bool {
+        if self.roll(self.config.sampler_dropout_prob) {
+            self.injected.dropped_samples += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consulted once per drained profile trace: corrupt it, and how?
+    pub fn corrupt_trace(&mut self) -> Option<TraceCorruption> {
+        if !self.roll(self.config.trace_corruption_prob) {
+            return None;
+        }
+        self.injected.corrupted_traces += 1;
+        Some(match self.rng.gen_range(0..4u32) {
+            0 => TraceCorruption::UnknownCallee,
+            1 => TraceCorruption::UnknownCallSite,
+            2 => TraceCorruption::NanWeight,
+            _ => TraceCorruption::NegativeWeight,
+        })
+    }
+
+    /// Consulted once per timer sample: deliver a receiver burst? Returns
+    /// the number of synthetic guard misses and a selector value used to
+    /// pick the victim among currently-optimized methods.
+    pub fn receiver_burst(&mut self) -> Option<(u64, u64)> {
+        if self.config.receiver_burst_misses == 0
+            || !self.roll(self.config.receiver_burst_prob)
+        {
+            return None;
+        }
+        self.injected.receiver_bursts += 1;
+        Some((self.config.receiver_burst_misses, self.rng.gen::<u64>()))
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        // Draw even for p == 0 so enabling one fault class does not shift
+        // the schedule of another: each decision consumes exactly one draw.
+        let draw = self.rng.gen::<f64>();
+        p > 0.0 && draw < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(inj: &mut FaultInjector, n: usize) -> Vec<Option<CompileFault>> {
+        (0..n).map(|_| inj.compile_fault()).collect()
+    }
+
+    #[test]
+    fn default_config_is_inert() {
+        let mut inj = FaultInjector::new(FaultConfig::default());
+        assert!(inj.config().is_inert());
+        for _ in 0..200 {
+            assert_eq!(inj.compile_fault(), None);
+            assert!(!inj.drop_sample());
+            assert_eq!(inj.corrupt_trace(), None);
+            assert_eq!(inj.receiver_burst(), None);
+        }
+        assert_eq!(inj.injected(), InjectedFaults::default());
+    }
+
+    #[test]
+    fn chaos_delivers_every_class() {
+        let mut inj = FaultInjector::new(FaultConfig::chaos(11));
+        for _ in 0..400 {
+            let _ = inj.compile_fault();
+            let _ = inj.drop_sample();
+            let _ = inj.corrupt_trace();
+            let _ = inj.receiver_burst();
+        }
+        let got = inj.injected();
+        assert!(got.compile_bailouts > 0);
+        assert!(got.oversize_rejections > 0);
+        assert!(got.corrupted_traces > 0);
+        assert!(got.dropped_samples > 0);
+        assert!(got.receiver_bursts > 0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultInjector::new(FaultConfig::chaos(99));
+        let mut b = FaultInjector::new(FaultConfig::chaos(99));
+        assert_eq!(drain(&mut a, 100), drain(&mut b, 100));
+        assert_eq!(a.injected(), b.injected());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultInjector::new(FaultConfig::chaos(1));
+        let mut b = FaultInjector::new(FaultConfig::chaos(2));
+        assert_ne!(drain(&mut a, 100), drain(&mut b, 100));
+    }
+
+    #[test]
+    fn fault_classes_draw_independently() {
+        // Turning sampler dropouts on must not change the compile-fault
+        // schedule: every decision consumes exactly one draw either way.
+        let mut quiet = FaultConfig::chaos(5);
+        quiet.sampler_dropout_prob = 0.0;
+        let mut a = FaultInjector::new(FaultConfig::chaos(5));
+        let mut b = FaultInjector::new(quiet);
+        let mut faults_a = Vec::new();
+        let mut faults_b = Vec::new();
+        for _ in 0..100 {
+            let _ = a.drop_sample();
+            let _ = b.drop_sample();
+            faults_a.push(a.compile_fault());
+            faults_b.push(b.compile_fault());
+        }
+        assert_eq!(faults_a, faults_b);
+        assert_eq!(b.injected().dropped_samples, 0);
+    }
+}

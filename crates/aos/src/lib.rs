@@ -28,6 +28,13 @@
 //! Every step charges its cycles to a [`Component`], producing the
 //! Figure 6 overhead breakdown in the final [`AosReport`].
 //!
+//! A **recovery layer** hardens the loop against a hostile environment
+//! (see [`FaultInjector`] for the adversary and [`RecoveryEvents`] for the
+//! ledger): guard-thrashing optimized code is invalidated back to baseline,
+//! failed compilations retry under capped exponential backoff (and are
+//! quarantined after repeated failures), and malformed profile traces are
+//! rejected at the store boundary.
+//!
 //! ```
 //! use aoci_aos::{AosConfig, AosSystem};
 //! use aoci_core::PolicyKind;
@@ -56,10 +63,12 @@
 
 mod config;
 mod database;
+mod fault;
 mod report;
 mod system;
 
-pub use config::{AosConfig, ProfileBackend};
+pub use config::{AosConfig, ProfileBackend, RecoveryConfig};
 pub use database::{AosDatabase, CompilationRecord};
-pub use report::AosReport;
-pub use system::AosSystem;
+pub use fault::{CompileFault, FaultConfig, FaultInjector, InjectedFaults, TraceCorruption};
+pub use report::{AosReport, RecoveryEvents};
+pub use system::{AosSystem, FullRunResult};

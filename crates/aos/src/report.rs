@@ -5,6 +5,38 @@ use crate::database::CompilationRecord;
 use aoci_profile::TraceStatsReport;
 use aoci_vm::{Clock, Component, ExecCounters, Value};
 
+/// Everything the recovery layer did during a run — the degradation story
+/// of a faulted execution. All zeros in an unfaulted, healthy run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryEvents {
+    /// Optimized versions invalidated for guard thrash (the method fell
+    /// back to baseline at its next invocation).
+    pub invalidations: u64,
+    /// Compile retries scheduled after failed compilations.
+    pub compile_retries: u64,
+    /// Methods quarantined (blocked from optimizing compilation) after
+    /// repeated failures or invalidations.
+    pub quarantined_methods: u64,
+    /// Profile traces rejected by sanitization at the store boundary.
+    pub rejected_traces: u64,
+    /// Injected compile-thread faults (bailouts + oversize rejections).
+    pub injected_compile_faults: u64,
+    /// Injected corrupt traces handed to the sanitizer.
+    pub injected_corrupt_traces: u64,
+    /// Timer samples lost to injected sampler dropout.
+    pub dropped_samples: u64,
+    /// Adversarial receiver bursts delivered.
+    pub receiver_bursts: u64,
+}
+
+impl RecoveryEvents {
+    /// Total recovery actions taken (the system *reacting*, as opposed to
+    /// the injected-fault counters which record the adversary acting).
+    pub fn total_actions(&self) -> u64 {
+        self.invalidations + self.compile_retries + self.quarantined_methods + self.rejected_traces
+    }
+}
+
 /// Metrics of one complete AOS run.
 #[derive(Clone, Debug)]
 pub struct AosReport {
@@ -37,6 +69,9 @@ pub struct AosReport {
     pub counters: ExecCounters,
     /// Every optimizing compilation performed, in order.
     pub compilations: Vec<CompilationRecord>,
+    /// What the recovery layer did (invalidations, retries, quarantines,
+    /// rejected traces) and what the fault injector delivered.
+    pub recovery: RecoveryEvents,
 }
 
 impl AosReport {
@@ -97,11 +132,27 @@ mod tests {
             trace_stats: aoci_profile::TraceStatsCollector::new().report(),
             counters: ExecCounters { calls: 10, virtual_dispatches: 4, guard_checks: 8, guard_misses: 2 },
             compilations: Vec::new(),
+            recovery: RecoveryEvents::default(),
         };
         assert_eq!(r.total_cycles(), 1000);
         assert_eq!(r.compile_cycles(), 100);
         assert!((r.fraction(Component::CompilationThread) - 0.1).abs() < 1e-12);
         assert!((r.guard_miss_rate() - 0.25).abs() < 1e-12);
         assert_eq!(r.aos_overhead(), 100);
+    }
+
+    #[test]
+    fn recovery_actions_exclude_injected_counters() {
+        let ev = RecoveryEvents {
+            invalidations: 1,
+            compile_retries: 2,
+            quarantined_methods: 3,
+            rejected_traces: 4,
+            injected_compile_faults: 100,
+            injected_corrupt_traces: 100,
+            dropped_samples: 100,
+            receiver_bursts: 100,
+        };
+        assert_eq!(ev.total_actions(), 10);
     }
 }

@@ -1,14 +1,22 @@
 //! The AOS driver: the online feedback loop of paper Figure 3.
 
-use crate::config::AosConfig;
+use crate::config::{AosConfig, RecoveryConfig};
 use crate::database::AosDatabase;
-use crate::report::AosReport;
+use crate::fault::{CompileFault, FaultInjector, TraceCorruption};
+use crate::report::{AosReport, RecoveryEvents};
 use aoci_core::{InlineOracle, PolicyEngine, RuleSet};
-use aoci_ir::{CallSiteRef, MethodId, Program};
-use aoci_profile::{CallingContextTree, Dcg, MethodListener, ProfileStore, TraceListener, TraceStatsCollector};
-use aoci_vm::{Component, RunOutcome, StackSnapshot, Vm, VmError};
+use aoci_ir::{CallSiteRef, MethodId, Program, SiteIdx};
+use aoci_profile::{
+    validate_trace, CallingContextTree, Dcg, MethodListener, ProfileStore, TraceKey,
+    TraceListener, TraceStatsCollector,
+};
+use aoci_vm::{Component, MethodGuardStats, RunOutcome, StackSnapshot, Vm, VmError};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+
+/// Everything a finished run yields: the report, the final AOS database,
+/// and the trace profile (saveable for offline profile-directed runs).
+pub type FullRunResult = Result<(AosReport, AosDatabase, Vec<(TraceKey, f64)>), VmError>;
 
 /// The complete adaptive optimization system: VM, listeners, organizers,
 /// controller, compilation thread and the AOS database, on one simulated
@@ -37,6 +45,28 @@ pub struct AosSystem<'p> {
     stats: TraceStatsCollector,
     /// Set once the program returns from its entry point.
     finished: Option<Option<aoci_vm::Value>>,
+    /// The adversary, when fault injection is configured.
+    fault: Option<FaultInjector>,
+    /// Recovery actions taken so far (injected-fault counters are merged in
+    /// from the injector when reporting).
+    recovery: RecoveryEvents,
+    /// Per optimized method: guard counters at the start of the current
+    /// observation window (reset at install and at invalidation).
+    guard_window_start: HashMap<MethodId, MethodGuardStats>,
+    /// Synthetic guard misses delivered by receiver bursts, folded into the
+    /// window on top of the VM's organic counters.
+    synthetic_misses: HashMap<MethodId, u64>,
+    /// Per method: consecutive failed compilations (cleared on success).
+    compile_failures: HashMap<MethodId, u32>,
+    /// Per method: consecutive guard-thrash invalidations (cleared by a
+    /// healthy observation window); reaching the quarantine limit blocks
+    /// the method instead of letting it cycle invalidate → recompile.
+    invalidation_streaks: HashMap<MethodId, u32>,
+    /// Failed compilations awaiting their backoff deadline, as
+    /// `(due_cycle, method)` in scheduling order.
+    retry_after: Vec<(u64, MethodId)>,
+    /// Methods blocked from optimizing compilation for the rest of the run.
+    quarantined: HashSet<MethodId>,
 }
 
 impl<'p> AosSystem<'p> {
@@ -71,6 +101,14 @@ impl<'p> AosSystem<'p> {
             sample_count: 0,
             stats: TraceStatsCollector::new(),
             finished: None,
+            fault: config.fault.clone().map(FaultInjector::new),
+            recovery: RecoveryEvents::default(),
+            guard_window_start: HashMap::new(),
+            synthetic_misses: HashMap::new(),
+            compile_failures: HashMap::new(),
+            invalidation_streaks: HashMap::new(),
+            retry_after: Vec::new(),
+            quarantined: HashSet::new(),
             config,
         }
     }
@@ -81,9 +119,19 @@ impl<'p> AosSystem<'p> {
     /// describes. Rules form at the first AI-organizer tick, so hot methods
     /// compile with good inlining decisions immediately instead of after a
     /// warm-up.
+    ///
+    /// Entries pass the same sanitization as online traces: malformed ones
+    /// (unknown methods or sites, non-finite or non-positive weights) are
+    /// rejected and counted in [`RecoveryEvents::rejected_traces`], so a
+    /// corrupted saved profile degrades the warm-up instead of crashing the
+    /// run.
     pub fn seed_profile(&mut self, entries: impl IntoIterator<Item = (aoci_profile::TraceKey, f64)>) {
         for (k, w) in entries {
-            self.profile.record(k, w);
+            if validate_trace(self.program, &k, w).is_ok() {
+                self.profile.record(k, w);
+            } else {
+                self.reject_trace();
+            }
         }
     }
 
@@ -114,11 +162,12 @@ impl<'p> AosSystem<'p> {
     /// # Errors
     ///
     /// Propagates any [`VmError`] the program raises.
-    pub fn run_full(
-        mut self,
-    ) -> Result<(AosReport, AosDatabase, Vec<(aoci_profile::TraceKey, f64)>), VmError> {
+    pub fn run_full(mut self) -> FullRunResult {
         while self.step()? {}
-        let result = self.finished.expect("loop ran to completion");
+        // `step` only reports completion once `finished` is set; if that
+        // invariant ever breaks, degrade to "no return value" rather than
+        // panicking out of an otherwise-successful run.
+        let result = self.finished.take().flatten();
         let db = self.db.clone();
         let profile = self.profile.entries();
         Ok((self.into_report(result), db, profile))
@@ -156,31 +205,46 @@ impl<'p> AosSystem<'p> {
     fn on_sample(&mut self, snapshot: &StackSnapshot) {
         self.sample_count += 1;
 
+        // --- Fault injection (per tick) ---------------------------------
+        // A dropped sample still advances the tick (organizer cadences are
+        // wall-clock driven) but its payload never reaches the listeners.
+        let dropped = self.fault.as_mut().is_some_and(|f| f.drop_sample());
+        self.deliver_receiver_burst();
+
         // --- Listeners -------------------------------------------------
-        self.method_listener.on_sample(snapshot);
-        let site = immediate_site(snapshot);
-        let max = self.policy.max_context_for(site);
-        let walked = {
-            let policy = &self.policy;
-            let program = self.program;
-            self.trace_listener
-                .on_sample(snapshot, max, |m| policy.keep_extending(program, m))
-        };
-        let listener_cycles = self.config.cost.sample_cost(walked + 1);
-        self.vm.clock_mut().charge(Component::Listeners, listener_cycles);
-        if snapshot.top_in_prologue {
-            self.stats.observe(snapshot, self.program);
+        if dropped {
+            let listener_cycles = self.config.cost.sample_cost(1);
+            self.vm.clock_mut().charge(Component::Listeners, listener_cycles);
+        } else {
+            self.method_listener.on_sample(snapshot);
+            let site = immediate_site(snapshot);
+            let max = self.policy.max_context_for(site);
+            let walked = {
+                let policy = &self.policy;
+                let program = self.program;
+                self.trace_listener
+                    .on_sample(snapshot, max, |m| policy.keep_extending(program, m))
+            };
+            let listener_cycles = self.config.cost.sample_cost(walked + 1);
+            self.vm.clock_mut().charge(Component::Listeners, listener_cycles);
+            if snapshot.top_in_prologue {
+                self.stats.observe(snapshot, self.program);
+            }
         }
 
+        // --- Recovery: guard health + due compile retries ---------------
+        self.check_guard_health();
+        self.schedule_due_retries();
+
         // --- Organizers (periodic) --------------------------------------
-        if self.sample_count % self.config.organizer_period_samples == 0 {
+        if self.sample_count.is_multiple_of(self.config.organizer_period_samples) {
             self.hot_methods_organizer();
             self.dcg_and_ai_organizer();
         }
-        if self.sample_count % self.config.decay_period_samples == 0 {
+        if self.sample_count.is_multiple_of(self.config.decay_period_samples) {
             self.decay_organizer();
         }
-        if self.sample_count % self.config.missing_edge_period_samples == 0 {
+        if self.sample_count.is_multiple_of(self.config.missing_edge_period_samples) {
             self.missing_edge_organizer();
         }
 
@@ -202,16 +266,25 @@ impl<'p> AosSystem<'p> {
         }
         let min_share =
             (self.config.hot_method_fraction * self.total_method_samples as f64) as u32;
-        let hot: Vec<MethodId> = self
+        let mut hot: Vec<MethodId> = self
             .method_samples
             .iter()
             .filter(|&(&m, &count)| {
                 count >= self.config.hot_method_samples.max(min_share)
                     && !self.db.is_optimized(m)
                     && !self.queued.contains(&m)
+                    && !self.quarantined.contains(&m)
+                    // Bounds churn from the invalidate→reselect cycle; only
+                    // reachable post-invalidation (an optimized method is
+                    // filtered out above).
+                    && self.db.recompiles(m) < self.config.max_recompiles_per_method
             })
             .map(|(&m, _)| m)
             .collect();
+        // HashMap iteration order is arbitrary; sort so the compile queue
+        // (and anything keyed to it, like the fault injector's draw
+        // sequence) is deterministic.
+        hot.sort_unstable_by_key(|m| m.index());
         for m in hot {
             self.controller_enqueue(m);
         }
@@ -226,7 +299,11 @@ impl<'p> AosSystem<'p> {
             self.config.organizer_cost_per_item * (traces.len() + self.profile.len()) as u64,
         );
         for t in traces {
-            self.profile.record(t, 1.0);
+            let (key, weight) = self.maybe_corrupt(t);
+            match validate_trace(self.program, &key, weight) {
+                Ok(()) => self.profile.record(key, weight),
+                Err(_) => self.reject_trace(),
+            }
         }
         self.ai_generation += 1;
         self.rules =
@@ -283,12 +360,9 @@ impl<'p> AosSystem<'p> {
             // condition) and the oracle's partial-match intersection would
             // actually yield the callee in the context that compilation
             // presents.
-            let outer = rule
-                .trace
-                .context()
-                .last()
-                .expect("traces have context")
-                .method;
+            let Some(outer) = rule.trace.context().last().map(|c| c.method) else {
+                continue; // malformed rule: no context to host a compilation
+            };
             for (host, ctx) in [
                 (site.method, &rule.trace.context()[..1]),
                 (outer, rule.trace.context()),
@@ -314,6 +388,10 @@ impl<'p> AosSystem<'p> {
                 }
             }
         }
+        // Rule iteration follows HashMap order; sort so the compile queue
+        // (and the fault injector's per-compilation draw sequence) is
+        // deterministic across processes.
+        to_queue.sort_unstable_by_key(|m| m.index());
         for m in to_queue {
             self.controller_enqueue(m);
         }
@@ -322,6 +400,9 @@ impl<'p> AosSystem<'p> {
     /// The controller: accepts an organizer event and creates a compilation
     /// plan (the oracle snapshot is taken when the plan executes).
     fn controller_enqueue(&mut self, method: MethodId) {
+        if self.quarantined.contains(&method) {
+            return;
+        }
         self.charge(Component::ControllerThread, self.config.controller_cost_per_event);
         if self.queued.insert(method) {
             self.compile_queue.push_back(method);
@@ -334,6 +415,29 @@ impl<'p> AosSystem<'p> {
     fn process_compile_queue(&mut self) {
         while let Some(method) = self.compile_queue.pop_front() {
             self.queued.remove(&method);
+            if self.quarantined.contains(&method) {
+                continue; // quarantined while waiting in the queue
+            }
+            if let Some(kind) = self.fault.as_mut().and_then(|f| f.compile_fault()) {
+                let wasted = match kind {
+                    // Aborted partway: only the fixed setup cost was spent.
+                    CompileFault::Bailout => self.config.cost.opt_compile_fixed,
+                    // Completed then rejected as oversized: full cost spent,
+                    // output discarded.
+                    CompileFault::Oversize => {
+                        let oracle = InlineOracle::with_mode(
+                            Arc::clone(&self.rules),
+                            self.config.match_mode,
+                        );
+                        let c =
+                            aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
+                        self.config.cost.opt_compile_cost(c.generated_size)
+                    }
+                };
+                self.charge(Component::CompilationThread, wasted);
+                self.handle_compile_failure(method);
+                continue;
+            }
             let oracle =
                 InlineOracle::with_mode(Arc::clone(&self.rules), self.config.match_mode);
             let compilation =
@@ -345,6 +449,11 @@ impl<'p> AosSystem<'p> {
             self.db
                 .record_compilation(method, &compilation, self.ai_generation);
             self.vm.registry_mut().install(compilation.version);
+            // A successful install opens a fresh guard-observation window
+            // and clears the failure streak.
+            self.compile_failures.remove(&method);
+            self.guard_window_start.insert(method, self.vm.guard_stats(method));
+            self.synthetic_misses.remove(&method);
             // Any rule this compilation was expected to realise but did not
             // is marked unrealized: re-requesting the same compilation under
             // the same rules cannot succeed.
@@ -352,7 +461,9 @@ impl<'p> AosSystem<'p> {
             for rule in self.rules.iter() {
                 let site = rule.trace.immediate_caller();
                 let callee = rule.trace.callee();
-                let outer = rule.trace.context().last().expect("non-empty").method;
+                let Some(outer) = rule.trace.context().last().map(|c| c.method) else {
+                    continue;
+                };
                 if (site.method == method || outer == method)
                     && !self.db.has_inlined(method, site, callee)
                 {
@@ -362,6 +473,181 @@ impl<'p> AosSystem<'p> {
             for (site, callee) in unrealized {
                 self.db.mark_unrealized(method, site, callee);
             }
+        }
+    }
+
+    // ---- Recovery layer -------------------------------------------------
+
+    /// Counts a rejected profile trace and charges its handling cost.
+    fn reject_trace(&mut self) {
+        self.recovery.rejected_traces += 1;
+        self.charge(Component::Recovery, self.config.recovery.recovery_cost_per_event);
+    }
+
+    /// Applies an injected corruption to a drained trace, if the injector
+    /// elects one. Returns the (possibly corrupted) key and weight exactly
+    /// as the sanitizer will see them.
+    fn maybe_corrupt(&mut self, key: aoci_profile::TraceKey) -> (aoci_profile::TraceKey, f64) {
+        let Some(kind) = self.fault.as_mut().and_then(|f| f.corrupt_trace()) else {
+            return (key, 1.0);
+        };
+        match kind {
+            TraceCorruption::UnknownCallee => {
+                let bogus = MethodId::from_index(self.program.num_methods() + 7);
+                (TraceKey::new(bogus, key.context().to_vec()), 1.0)
+            }
+            TraceCorruption::UnknownCallSite => {
+                let mut ctx = key.context().to_vec();
+                if let Some(first) = ctx.first_mut() {
+                    *first = CallSiteRef::new(first.method, SiteIdx(u16::MAX));
+                }
+                (TraceKey::new(key.callee(), ctx), 1.0)
+            }
+            TraceCorruption::NanWeight => (key, f64::NAN),
+            TraceCorruption::NegativeWeight => (key, -1.0),
+        }
+    }
+
+    /// Delivers an injected receiver burst: synthetic guard misses against
+    /// one deterministically-selected currently-optimized method.
+    fn deliver_receiver_burst(&mut self) {
+        let Some((misses, selector)) = self.fault.as_mut().and_then(|f| f.receiver_burst())
+        else {
+            return;
+        };
+        let mut victims: Vec<MethodId> = self.db.optimized_methods().collect();
+        if victims.is_empty() {
+            return; // burst fired before anything was optimized: no target
+        }
+        victims.sort_unstable_by_key(|m| m.index());
+        let victim = victims[(selector % victims.len() as u64) as usize];
+        *self.synthetic_misses.entry(victim).or_insert(0) += misses;
+    }
+
+    /// Scans every currently-optimized method's guard-observation window;
+    /// a miss rate above the threshold (over enough checks) invalidates the
+    /// optimized version — the method falls back to baseline at its next
+    /// invocation (in-flight activations finish on the old code; no OSR).
+    ///
+    /// Windows *roll*: once a window accumulates enough checks it is judged
+    /// and then reset, so a phase shift is detected from the post-shift
+    /// window alone rather than being diluted by a long healthy history.
+    fn check_guard_health(&mut self) {
+        if !self.config.recovery.monitor_guard_health && self.fault.is_none() {
+            return;
+        }
+        let rc = self.config.recovery.clone();
+        let mut candidates: Vec<MethodId> = self.db.optimized_methods().collect();
+        candidates.sort_unstable_by_key(|m| m.index());
+        for m in candidates {
+            let stats = self.vm.guard_stats(m);
+            let base = self.guard_window_start.get(&m).copied().unwrap_or_default();
+            let synth = self.synthetic_misses.get(&m).copied().unwrap_or(0);
+            let checks = stats.checks.saturating_sub(base.checks) + synth;
+            if checks < rc.guard_miss_min_checks {
+                continue;
+            }
+            let misses = stats.misses.saturating_sub(base.misses) + synth;
+            if misses as f64 / checks as f64 > rc.guard_miss_threshold {
+                self.invalidate_method(m, &rc);
+            } else {
+                // Healthy window: start the next one. The recompiled code
+                // holds up under the current receiver distribution, so the
+                // invalidation streak is over — a later, separate phase
+                // shift starts counting from zero rather than compounding
+                // toward quarantine.
+                self.guard_window_start.insert(m, stats);
+                self.synthetic_misses.remove(&m);
+                self.invalidation_streaks.remove(&m);
+            }
+        }
+    }
+
+    /// Invalidates `method`'s optimized version (guard thrash): the registry
+    /// slot is cleared, the database drops its currently-optimized status
+    /// (so the hot-methods organizer may reselect it once the profile has
+    /// shifted), and *consecutive* invalidations — without a healthy guard
+    /// window in between — quarantine it.
+    fn invalidate_method(&mut self, method: MethodId, rc: &RecoveryConfig) {
+        if !self.vm.registry_mut().invalidate(method) {
+            return; // registry and database out of sync; nothing installed
+        }
+        self.db.record_invalidation(method);
+        self.recovery.invalidations += 1;
+        self.charge(Component::Recovery, rc.recovery_cost_per_event);
+        self.guard_window_start.insert(method, self.vm.guard_stats(method));
+        self.synthetic_misses.remove(&method);
+        let streak = {
+            let s = self.invalidation_streaks.entry(method).or_insert(0);
+            *s += 1;
+            *s
+        };
+        if streak >= rc.quarantine_after_failures {
+            self.quarantine(method);
+        } else if self.db.recompiles(method) < self.config.max_recompiles_per_method {
+            // The method was hot enough to compile and is thrashing *now*,
+            // so don't wait for the hot organizer to re-notice it: schedule
+            // a recompilation after one base backoff — long enough for the
+            // post-shift profile to accumulate, short enough to bound the
+            // baseline-fallback window. The recompile budget shared with
+            // the missing-edge organizer bounds the churn a perpetually
+            // phase-flipping method could otherwise generate; past it the
+            // method settles at baseline — degraded, stable, correct.
+            let due = self.vm.clock().total() + rc.retry_backoff_base_cycles;
+            self.retry_after.push((due, method));
+        }
+    }
+
+    /// Books a compile failure of `method`: schedules a retry after
+    /// exponential backoff (in simulated cycles, capped), or quarantines the
+    /// method once its failure streak reaches the configured limit.
+    fn handle_compile_failure(&mut self, method: MethodId) {
+        let failures = {
+            let streak = self.compile_failures.entry(method).or_insert(0);
+            *streak += 1;
+            *streak
+        };
+        let rc = self.config.recovery.clone();
+        if failures >= rc.quarantine_after_failures {
+            self.quarantine(method);
+        } else {
+            let backoff = rc
+                .retry_backoff_base_cycles
+                .saturating_mul(1u64 << (failures - 1).min(20))
+                .min(rc.retry_backoff_cap_cycles);
+            let due = self.vm.clock().total() + backoff;
+            self.retry_after.push((due, method));
+            self.recovery.compile_retries += 1;
+            self.charge(Component::Recovery, rc.recovery_cost_per_event);
+        }
+    }
+
+    /// Re-enqueues failed compilations whose backoff deadline has passed.
+    fn schedule_due_retries(&mut self) {
+        if self.retry_after.is_empty() {
+            return;
+        }
+        let now = self.vm.clock().total();
+        let mut due: Vec<MethodId> = Vec::new();
+        self.retry_after.retain(|&(deadline, m)| {
+            if deadline <= now {
+                due.push(m);
+                false
+            } else {
+                true
+            }
+        });
+        for m in due {
+            self.controller_enqueue(m);
+        }
+    }
+
+    /// Blocks `method` from optimizing compilation for the rest of the run.
+    fn quarantine(&mut self, method: MethodId) {
+        if self.quarantined.insert(method) {
+            self.recovery.quarantined_methods += 1;
+            self.charge(Component::Recovery, self.config.recovery.recovery_cost_per_event);
+            self.retry_after.retain(|&(_, m)| m != method);
         }
     }
 
@@ -385,6 +671,7 @@ impl<'p> AosSystem<'p> {
             trace_stats: self.stats.report(),
             counters: self.vm.counters(),
             compilations: self.db.compilation_log().to_vec(),
+            recovery: self.recovery_events(),
         }
     }
 
@@ -408,6 +695,20 @@ impl<'p> AosSystem<'p> {
     /// The policy engine (including adaptive per-site state).
     pub fn policy(&self) -> &PolicyEngine {
         &self.policy
+    }
+
+    /// Recovery actions taken so far, with the injector's delivered-fault
+    /// counters merged in (also usable mid-run between [`AosSystem::step`]s).
+    pub fn recovery_events(&self) -> RecoveryEvents {
+        let mut ev = self.recovery;
+        if let Some(f) = &self.fault {
+            let inj = f.injected();
+            ev.injected_compile_faults = inj.compile_bailouts + inj.oversize_rejections;
+            ev.injected_corrupt_traces = inj.corrupted_traces;
+            ev.dropped_samples = inj.dropped_samples;
+            ev.receiver_bursts = inj.receiver_bursts;
+        }
+        ev
     }
 }
 

@@ -232,6 +232,247 @@ fn adaptive_resolving_escalates_unskewed_sites() {
     );
 }
 
+// ---- Recovery layer -----------------------------------------------------
+
+use crate::fault::FaultConfig;
+
+/// Phase-shift program: `compute` virtually calls `val` on a global
+/// receiver that `main` swaps from class A to class B (which overrides
+/// `val`) halfway through the loop. A guarded inline of `A.val` compiled in
+/// phase 1 misses on every check in phase 2 — organic guard thrash.
+fn phase_shift_program(n: i64) -> (Program, MethodId) {
+    let mut b = ProgramBuilder::new();
+    let sel = b.selector("val", 0);
+    let a = b.class("A", None);
+    let cb = b.class("B", Some(a));
+    {
+        let mut m = b.virtual_method("A.val", a, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 1);
+        m.ret(Some(r));
+        m.finish();
+    }
+    {
+        let mut m = b.virtual_method("B.val", cb, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 2);
+        m.ret(Some(r));
+        m.finish();
+    }
+    let g = b.global("obj");
+    let compute = {
+        let mut m = b.static_method("compute", 1);
+        m.work(60);
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.get_global(o, g);
+        m.call_virtual(Some(r), sel, o, &[]);
+        m.bin(BinOp::Add, r, r, m.param(0));
+        m.ret(Some(r));
+        m.finish()
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let oa = m.fresh_reg();
+        let ob = m.fresh_reg();
+        m.new_obj(oa, a);
+        m.new_obj(ob, cb);
+        m.put_global(g, oa);
+        let i = m.fresh_reg();
+        let nn = m.fresh_reg();
+        let one = m.fresh_reg();
+        let half = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(i, 0);
+        m.const_int(nn, n);
+        m.const_int(one, 1);
+        m.const_int(half, n / 2);
+        m.const_int(acc, 0);
+        let top = m.label();
+        let out = m.label();
+        let skip = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, i, nn, out);
+        m.branch(Cond::Ne, i, half, skip);
+        m.put_global(g, ob);
+        m.bind(skip);
+        m.call_static(Some(r), compute, &[i]);
+        m.bin(BinOp::Add, acc, acc, r);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(top);
+        m.bind(out);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    (b.finish(main).unwrap(), compute)
+}
+
+#[test]
+fn guard_thrash_invalidates_and_recovers() {
+    let (p, compute) = phase_shift_program(6_000);
+    let expected = baseline_result(&p);
+    let mut config = fast_config(PolicyKind::ContextInsensitive);
+    config.recovery.monitor_guard_health = true;
+    let mut sys = AosSystem::new(&p, config);
+    loop {
+        match sys.vm.run(u64::MAX).expect("runs") {
+            RunOutcome::Finished(r) => {
+                assert_eq!(r, expected, "recovery must not change semantics");
+                break;
+            }
+            RunOutcome::Sample(s) => sys.on_sample(&s),
+            RunOutcome::BudgetExhausted => unreachable!(),
+        }
+    }
+    let ev = sys.recovery_events();
+    assert!(ev.invalidations >= 1, "phase shift should thrash the guarded inline: {ev:?}");
+    assert!(
+        sys.database().times_invalidated(compute) >= 1,
+        "the thrashing method itself should have been invalidated"
+    );
+    assert!(
+        sys.database().recompiles(compute) >= 2,
+        "the invalidated method should be recompiled once reselected"
+    );
+    // The run never ends mid-thrash: the method is either re-optimized
+    // with a healthy guard window (the health check would otherwise have
+    // invalidated it again) or it has been quarantined to baseline.
+    if sys.database().is_optimized(compute) {
+        let stats = sys.vm.guard_stats(compute);
+        let base = sys.guard_window_start.get(&compute).copied().unwrap_or_default();
+        let checks = stats.checks - base.checks;
+        if checks >= sys.config.recovery.guard_miss_min_checks {
+            let rate = (stats.misses - base.misses) as f64 / checks as f64;
+            assert!(
+                rate <= sys.config.recovery.guard_miss_threshold,
+                "final window must be healthy, got miss rate {rate}"
+            );
+        }
+    } else {
+        assert!(
+            sys.quarantined.contains(&compute)
+                || sys.database().recompiles(compute)
+                    >= sys.config.max_recompiles_per_method,
+            "a de-optimized method left unoptimized must be quarantined or \
+             out of recompile budget"
+        );
+    }
+}
+
+#[test]
+fn failing_compiles_back_off_then_quarantine() {
+    let p = hot_loop_program(6_000, false);
+    let expected = baseline_result(&p);
+    let mut config = fast_config(PolicyKind::ContextInsensitive);
+    config.fault = Some(FaultConfig { compile_bailout_prob: 1.0, ..FaultConfig::default() });
+    let report = AosSystem::new(&p, config).run().expect("runs despite compile faults");
+    assert_eq!(report.result, expected);
+    assert_eq!(report.opt_compilations, 0, "every compilation bails out");
+    assert!(
+        report.recovery.compile_retries >= 2,
+        "retries precede quarantine: {:?}",
+        report.recovery
+    );
+    assert!(report.recovery.quarantined_methods >= 1);
+    assert_eq!(
+        report.recovery.injected_compile_faults,
+        report.recovery.compile_retries + report.recovery.quarantined_methods,
+        "each bailout either schedules a retry or quarantines"
+    );
+    assert!(
+        report.clock.component(Component::Recovery) > 0,
+        "recovery events are charged to the cost model"
+    );
+}
+
+#[test]
+fn corrupted_traces_are_rejected_at_the_store_boundary() {
+    let p = hot_loop_program(2_000, true);
+    let expected = baseline_result(&p);
+    let mut config = fast_config(PolicyKind::Fixed { max: 3 });
+    config.fault = Some(FaultConfig { trace_corruption_prob: 1.0, ..FaultConfig::default() });
+    let report = AosSystem::new(&p, config).run().expect("runs despite corrupt traces");
+    assert_eq!(report.result, expected);
+    assert!(report.recovery.injected_corrupt_traces > 0);
+    assert_eq!(
+        report.recovery.rejected_traces, report.recovery.injected_corrupt_traces,
+        "every corrupted trace must be caught by sanitization"
+    );
+    assert_eq!(report.dcg_entries, 0, "nothing malformed reaches the profile store");
+    assert_eq!(report.final_rules, 0);
+}
+
+#[test]
+fn seed_profile_rejects_malformed_entries() {
+    let p = hot_loop_program(50, false);
+    let mut sys = AosSystem::new(&p, fast_config(PolicyKind::ContextInsensitive));
+    let bogus_method = MethodId::from_index(p.num_methods() + 1);
+    let site = CallSiteRef::new(bogus_method, aoci_ir::SiteIdx(0));
+    sys.seed_profile([
+        (aoci_profile::TraceKey::new(bogus_method, vec![site]), 1.0),
+        (aoci_profile::TraceKey::new(bogus_method, vec![site]), f64::NAN),
+    ]);
+    assert_eq!(sys.recovery_events().rejected_traces, 2);
+    assert_eq!(sys.profile().len(), 0);
+}
+
+#[test]
+fn chaos_run_degrades_gracefully() {
+    let p = hot_loop_program(6_000, true);
+    let expected = baseline_result(&p);
+    let mut config = fast_config(PolicyKind::Fixed { max: 3 });
+    config.fault = Some(FaultConfig::chaos(42));
+    let report = AosSystem::new(&p, config).run().expect("faulted run completes");
+    assert_eq!(report.result, expected, "faults must not change program semantics");
+    let ev = report.recovery;
+    assert!(
+        ev.injected_compile_faults + ev.injected_corrupt_traces + ev.dropped_samples > 0,
+        "chaos config should actually deliver faults: {ev:?}"
+    );
+    assert!(ev.total_actions() > 0, "the system should visibly react: {ev:?}");
+}
+
+#[test]
+fn faulted_runs_with_same_seed_are_deterministic() {
+    let p = hot_loop_program(4_000, true);
+    let run = || {
+        let mut config = fast_config(PolicyKind::Fixed { max: 3 });
+        config.fault = Some(FaultConfig::chaos(9));
+        AosSystem::new(&p, config).run().expect("runs")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.clock.total(), b.clock.total());
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn unfaulted_runs_are_deterministic() {
+    let p = hot_loop_program(3_000, true);
+    let run = || {
+        AosSystem::new(&p, fast_config(PolicyKind::Fixed { max: 3 }))
+            .run()
+            .expect("runs")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.clock.total(), b.clock.total());
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.opt_compilations, b.opt_compilations);
+    assert_eq!(a.optimized_code_size, b.optimized_code_size);
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.recovery, b.recovery);
+    // No injector: only organic recovery actions, never injected faults.
+    assert_eq!(a.recovery.injected_compile_faults, 0);
+    assert_eq!(a.recovery.injected_corrupt_traces, 0);
+    assert_eq!(a.recovery.dropped_samples, 0);
+    assert_eq!(a.recovery.receiver_bursts, 0);
+}
+
 #[test]
 fn context_tree_backend_matches_flat_semantics() {
     let p = hot_loop_program(600, true);

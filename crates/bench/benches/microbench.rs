@@ -1,6 +1,12 @@
-//! Criterion micro-benchmarks for the AOCI hot paths: trace recording into
-//! the DCG, hot-trace extraction, oracle partial-match queries, the
-//! source-level stack walk, and a full optimizing compilation.
+//! Micro-benchmarks for the AOCI hot paths: trace recording into the DCG,
+//! hot-trace extraction, oracle partial-match queries, the source-level
+//! stack walk, and a full optimizing compilation.
+//!
+//! The build environment has no crates.io access, so instead of criterion
+//! this is a plain `harness = false` binary with a small timing loop:
+//! each benchmark body is warmed up, then run for a fixed number of
+//! iterations, reporting mean ns/iter. Set `AOCI_BENCH_ITERS` to change
+//! the iteration count (default 200).
 
 use aoci_core::{InlineOracle, RuleSet};
 use aoci_ir::{CallSiteRef, MethodId, SiteIdx};
@@ -8,7 +14,28 @@ use aoci_opt::{compile, OptConfig};
 use aoci_profile::{Dcg, DcgConfig, TraceKey};
 use aoci_vm::{CostModel, RunOutcome, Vm};
 use aoci_workloads::{build, spec_by_name};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn iters() -> u32 {
+    std::env::var("AOCI_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+fn bench(name: &str, mut body: impl FnMut()) {
+    let n = iters();
+    for _ in 0..n / 10 + 1 {
+        body();
+    }
+    let start = Instant::now();
+    for _ in 0..n {
+        body();
+    }
+    let elapsed = start.elapsed();
+    println!("{name:40} {:>12.0} ns/iter", elapsed.as_nanos() as f64 / n as f64);
+}
 
 fn cs(m: usize, s: u16) -> CallSiteRef {
     CallSiteRef::new(MethodId::from_index(m), SiteIdx(s))
@@ -25,52 +52,43 @@ fn synthetic_traces(n: usize) -> Vec<TraceKey> {
         .collect()
 }
 
-fn bench_dcg(c: &mut Criterion) {
+fn bench_dcg() {
     let traces = synthetic_traces(512);
-    c.bench_function("dcg_record_512_traces", |b| {
-        b.iter(|| {
-            let mut dcg = Dcg::new(DcgConfig::default());
-            for t in &traces {
-                dcg.record(black_box(t.clone()), 1.0);
-            }
-            black_box(dcg.total_weight())
-        })
+    bench("dcg_record_512_traces", || {
+        let mut dcg = Dcg::new(DcgConfig::default());
+        for t in &traces {
+            dcg.record(black_box(t.clone()), 1.0);
+        }
+        black_box(dcg.total_weight());
     });
 
     let mut dcg = Dcg::new(DcgConfig::default());
     for t in &traces {
         dcg.record(t.clone(), 1.0);
     }
-    c.bench_function("dcg_hot_extraction", |b| {
-        b.iter(|| black_box(dcg.hot(black_box(0.015))))
+    bench("dcg_hot_extraction", || {
+        black_box(dcg.hot(black_box(0.015)));
     });
-    c.bench_function("dcg_decay", |b| {
-        b.iter_batched(
-            || dcg.clone(),
-            |mut d| {
-                d.decay(0.95);
-                black_box(d.len())
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("dcg_decay", || {
+        let mut d = dcg.clone();
+        d.decay(0.95);
+        black_box(d.len());
     });
 }
 
-fn bench_oracle(c: &mut Criterion) {
+fn bench_oracle() {
     let traces = synthetic_traces(256);
     let rules = RuleSet::from_rules(traces.iter().map(|t| (t.clone(), 5.0)), 256.0 * 5.0);
     let oracle = InlineOracle::new(rules.into());
     let probes: Vec<Vec<CallSiteRef>> = traces.iter().map(|t| t.context().to_vec()).collect();
-    c.bench_function("oracle_partial_match_query", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % probes.len();
-            black_box(oracle.candidates(black_box(&probes[i])))
-        })
+    let mut i = 0;
+    bench("oracle_partial_match_query", || {
+        i = (i + 1) % probes.len();
+        black_box(oracle.candidates(black_box(&probes[i])));
     });
 }
 
-fn bench_stack_walk(c: &mut Criterion) {
+fn bench_stack_walk() {
     // Sample a deep stack repeatedly: build a recursive program and
     // snapshot it at depth.
     let mut b = aoci_ir::ProgramBuilder::new();
@@ -104,12 +122,12 @@ fn bench_stack_walk(c: &mut Criterion) {
         RunOutcome::Sample(s) => s,
         _ => panic!("expected a sample"),
     };
-    c.bench_function("source_level_stack_walk_depth25", |bch| {
-        bch.iter(|| black_box(vm.snapshot()))
+    bench("source_level_stack_walk_depth25", || {
+        black_box(vm.snapshot());
     });
 }
 
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile() {
     let w = build(&spec_by_name("jess").expect("suite"));
     // Compile a mid-sized method with an aggressive oracle built from every
     // static call edge in the program.
@@ -131,30 +149,26 @@ fn bench_compile(c: &mut Criterion) {
         .max_by_key(|m| m.size_estimate())
         .map(|m| m.id())
         .expect("a method with call sites");
-    c.bench_function("opt_compile_with_inlining", |b| {
-        b.iter(|| black_box(compile(&w.program, target, &oracle, &config)))
+    bench("opt_compile_with_inlining", || {
+        black_box(compile(&w.program, target, &oracle, &config));
     });
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let w = build(&spec_by_name("db").expect("suite"));
-    c.bench_function("interp_db_1pct_slice", |b| {
-        b.iter(|| {
-            let cost = CostModel { sample_period: 0, ..CostModel::default() };
-            let mut vm = Vm::new(&w.program, cost);
-            // Execute a fixed slice of the program.
-            black_box(vm.run(black_box(500_000)).expect("runs"));
-            black_box(vm.clock().total())
-        })
+    bench("interp_db_1pct_slice", || {
+        let cost = CostModel { sample_period: 0, ..CostModel::default() };
+        let mut vm = Vm::new(&w.program, cost);
+        // Execute a fixed slice of the program.
+        black_box(vm.run(black_box(500_000)).expect("runs"));
+        black_box(vm.clock().total());
     });
 }
 
-criterion_group!(
-    benches,
-    bench_dcg,
-    bench_oracle,
-    bench_stack_walk,
-    bench_compile,
-    bench_interpreter
-);
-criterion_main!(benches);
+fn main() {
+    bench_dcg();
+    bench_oracle();
+    bench_stack_walk();
+    bench_compile();
+    bench_interpreter();
+}

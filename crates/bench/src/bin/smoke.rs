@@ -1,17 +1,33 @@
-use aoci_aos::{AosConfig, AosSystem};
+use aoci_aos::{AosConfig, AosSystem, FaultConfig};
 use aoci_core::PolicyKind;
 use aoci_workloads::{build, suite};
 use std::time::Instant;
 
+/// Quick end-to-end sanity run over the whole suite.
+///
+/// Set `AOCI_FAULTS=<seed>` to enable the everything-on fault-injection
+/// profile ([`FaultConfig::chaos`]) with that seed: every run must still
+/// complete, and the per-run line gains the recovery-event counts.
 fn main() {
+    let faults: Option<u64> = match std::env::var("AOCI_FAULTS") {
+        Ok(s) if s.trim().is_empty() => None,
+        Ok(s) => match s.trim().parse() {
+            Ok(seed) => Some(seed),
+            Err(_) => {
+                eprintln!("AOCI_FAULTS must be an integer seed, got {s:?}");
+                std::process::exit(2);
+            }
+        },
+        Err(_) => None,
+    };
     for spec in suite() {
         let w = build(&spec);
         for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
             let t = Instant::now();
-            let report = AosSystem::new(&w.program, AosConfig::new(policy))
-                .run()
-                .expect("runs");
-            println!(
+            let mut config = AosConfig::new(policy);
+            config.fault = faults.map(FaultConfig::chaos);
+            let report = AosSystem::new(&w.program, config).run().expect("runs");
+            print!(
                 "{:<10} {:?}: wall={:?} cycles={} cum={} cur={} compiles={} samples={} rules={} baseline_methods={} frac_compile={:.3}% frac_listen={:.3}%",
                 w.name,
                 policy,
@@ -26,6 +42,24 @@ fn main() {
                 report.fraction(aoci_vm::Component::CompilationThread) * 100.0,
                 report.fraction(aoci_vm::Component::Listeners) * 100.0,
             );
+            if faults.is_some() {
+                let ev = report.recovery;
+                print!(
+                    " | recovery: inval={} retries={} quarantined={} rejected={} (injected: compile={} traces={} drops={} bursts={})",
+                    ev.invalidations,
+                    ev.compile_retries,
+                    ev.quarantined_methods,
+                    ev.rejected_traces,
+                    ev.injected_compile_faults,
+                    ev.injected_corrupt_traces,
+                    ev.dropped_samples,
+                    ev.receiver_bursts,
+                );
+            }
+            println!();
         }
+    }
+    if faults.is_some() {
+        println!("fault-injected smoke complete: every run degraded gracefully");
     }
 }

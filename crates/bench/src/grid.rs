@@ -2,8 +2,8 @@
 
 use crate::metrics::{policy_label, run_one, RunMetrics, POLICY_GROUPS};
 use aoci_core::PolicyKind;
+use aoci_json::Value;
 use aoci_workloads::suite;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -11,7 +11,7 @@ use std::path::PathBuf;
 pub type GridKey = (String, String);
 
 /// The cached measurement grid.
-#[derive(Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Default)]
 pub struct GridStore {
     /// Keyed as `"workload::policy"`.
     pub entries: BTreeMap<String, RunMetrics>,
@@ -20,6 +20,27 @@ pub struct GridStore {
 impl GridStore {
     fn key(workload: &str, policy: &str) -> String {
         format!("{workload}::{policy}")
+    }
+
+    /// Serializes the grid as a JSON document.
+    pub fn to_json(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(k, m)| (k.clone(), m.to_value()))
+            .collect::<BTreeMap<_, _>>();
+        let doc = Value::obj([("entries".to_string(), Value::Obj(entries))]);
+        aoci_json::to_string_pretty(&doc)
+    }
+
+    /// Deserializes a grid; `None` for malformed documents.
+    pub fn from_json(s: &str) -> Option<GridStore> {
+        let doc = aoci_json::parse(s).ok()?;
+        let mut entries = BTreeMap::new();
+        for (k, v) in doc.get("entries")?.as_obj()? {
+            entries.insert(k.clone(), RunMetrics::from_value(v)?);
+        }
+        Some(GridStore { entries })
     }
 
     /// Fetches an entry.
@@ -77,7 +98,7 @@ pub fn load_or_run_grid() -> GridStore {
     } else {
         std::fs::read_to_string(&path)
             .ok()
-            .and_then(|s| serde_json::from_str(&s).ok())
+            .and_then(|s| GridStore::from_json(&s))
             .unwrap_or_default()
     };
 
@@ -102,7 +123,7 @@ pub fn load_or_run_grid() -> GridStore {
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        let json = serde_json::to_string_pretty(&store).expect("serializable");
+        let json = store.to_json();
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("warning: could not cache grid to {}: {e}", path.display());
         }
@@ -138,12 +159,16 @@ mod tests {
             stats_large_at_or_beyond_4: 0.0,
             methods_compiled: 0,
             result: None,
+            recovery_invalidations: 0.0,
+            recovery_retries: 0.0,
+            recovery_quarantined: 0.0,
+            recovery_rejected_traces: 0.0,
         };
         s.insert(m);
         assert!(s.get("w", "fixed/3").is_some());
         assert!(s.get("w", "fixed/4").is_none());
-        let json = serde_json::to_string(&s).unwrap();
-        let back: GridStore = serde_json::from_str(&json).unwrap();
+        let json = s.to_json();
+        let back = GridStore::from_json(&json).unwrap();
         assert!(back.get("w", "fixed/3").is_some());
     }
 

@@ -2,13 +2,17 @@
 
 use aoci_aos::{AosConfig, AosSystem};
 use aoci_core::PolicyKind;
+use aoci_json::Value;
 use aoci_vm::{Component, COMPONENTS};
 use aoci_workloads::{build, WorkloadSpec};
-use serde::{Deserialize, Serialize};
+
+/// Constructor for one policy group: the max context depth selects the
+/// concrete [`PolicyKind`].
+pub type PolicyCtor = fn(u8) -> PolicyKind;
 
 /// The six policy groups of the paper's Figures 4/5, in subfigure order
 /// (a)–(f), keyed by the short label used throughout the harness output.
-pub const POLICY_GROUPS: [(&str, fn(u8) -> PolicyKind); 6] = [
+pub const POLICY_GROUPS: [(&str, PolicyCtor); 6] = [
     ("fixed", |max| PolicyKind::Fixed { max }),
     ("paramLess", |max| PolicyKind::Parameterless { max }),
     ("class", |max| PolicyKind::ClassMethods { max }),
@@ -33,7 +37,7 @@ pub fn policy_label(policy: PolicyKind) -> String {
 }
 
 /// Aggregated measurements of one (workload, policy) configuration.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunMetrics {
     /// Workload name.
     pub workload: String,
@@ -76,6 +80,14 @@ pub struct RunMetrics {
     pub methods_compiled: u32,
     /// Program return value (sanity: must agree across policies).
     pub result: Option<i64>,
+    /// Mean compiled-code invalidations (guard-thrash recovery).
+    pub recovery_invalidations: f64,
+    /// Mean compile retries after injected/organic compile failures.
+    pub recovery_retries: f64,
+    /// Mean methods quarantined from optimizing compilation.
+    pub recovery_quarantined: f64,
+    /// Mean profile traces rejected by sanitization.
+    pub recovery_rejected_traces: f64,
 }
 
 /// Number of repetitions per configuration (`AOCI_REPS`, default 3).
@@ -114,6 +126,10 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
     let mut first_stats = None;
     let mut methods_compiled = 0;
     let mut result = None;
+    let mut invalidations = 0.0;
+    let mut retries = 0.0;
+    let mut quarantined = 0.0;
+    let mut rejected_traces = 0.0;
     for rep in 0..n {
         let report = AosSystem::new(&w.program, run_config(policy, rep))
             .run()
@@ -132,6 +148,10 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
         guard_checks += report.counters.guard_checks as f64;
         guard_misses += report.counters.guard_misses as f64;
         dispatches += report.counters.virtual_dispatches as f64;
+        invalidations += report.recovery.invalidations as f64;
+        retries += report.recovery.compile_retries as f64;
+        quarantined += report.recovery.quarantined_methods as f64;
+        rejected_traces += report.recovery.rejected_traces as f64;
         if first_stats.is_none() {
             first_stats = Some(report.trace_stats);
             methods_compiled = report.baseline_compilations;
@@ -165,10 +185,101 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
         stats_large_at_or_beyond_4: stats.large_at_or_beyond_4,
         methods_compiled,
         result,
+        recovery_invalidations: invalidations * inv,
+        recovery_retries: retries * inv,
+        recovery_quarantined: quarantined * inv,
+        recovery_rejected_traces: rejected_traces * inv,
     }
 }
 
 impl RunMetrics {
+    /// Serializes to an [`aoci_json::Value`] object (one grid entry).
+    pub fn to_value(&self) -> Value {
+        Value::obj([
+            ("workload".to_string(), Value::from(self.workload.clone())),
+            ("policy".to_string(), Value::from(self.policy.clone())),
+            ("total_cycles".to_string(), Value::from(self.total_cycles)),
+            ("cumulative_code".to_string(), Value::from(self.cumulative_code)),
+            ("current_code".to_string(), Value::from(self.current_code)),
+            ("compile_cycles".to_string(), Value::from(self.compile_cycles)),
+            ("opt_compilations".to_string(), Value::from(self.opt_compilations)),
+            (
+                "component_fracs".to_string(),
+                Value::Arr(self.component_fracs.iter().map(|&f| Value::from(f)).collect()),
+            ),
+            ("samples".to_string(), Value::from(self.samples)),
+            ("traces_recorded".to_string(), Value::from(self.traces_recorded)),
+            ("frames_walked".to_string(), Value::from(self.frames_walked)),
+            ("guard_checks".to_string(), Value::from(self.guard_checks)),
+            ("guard_misses".to_string(), Value::from(self.guard_misses)),
+            ("virtual_dispatches".to_string(), Value::from(self.virtual_dispatches)),
+            (
+                "stats_immediately_parameterless".to_string(),
+                Value::from(self.stats_immediately_parameterless),
+            ),
+            (
+                "stats_parameterless_within_5".to_string(),
+                Value::from(self.stats_parameterless_within_5),
+            ),
+            ("stats_class_within_2".to_string(), Value::from(self.stats_class_within_2)),
+            (
+                "stats_large_at_or_beyond_4".to_string(),
+                Value::from(self.stats_large_at_or_beyond_4),
+            ),
+            ("methods_compiled".to_string(), Value::from(self.methods_compiled)),
+            (
+                "result".to_string(),
+                self.result.map_or(Value::Null, Value::from),
+            ),
+            ("recovery_invalidations".to_string(), Value::from(self.recovery_invalidations)),
+            ("recovery_retries".to_string(), Value::from(self.recovery_retries)),
+            ("recovery_quarantined".to_string(), Value::from(self.recovery_quarantined)),
+            (
+                "recovery_rejected_traces".to_string(),
+                Value::from(self.recovery_rejected_traces),
+            ),
+        ])
+    }
+
+    /// Deserializes one grid entry; `None` if the value has the wrong shape.
+    pub fn from_value(v: &Value) -> Option<RunMetrics> {
+        let f = |key: &str| v.get(key).and_then(Value::as_f64);
+        Some(RunMetrics {
+            workload: v.get("workload")?.as_str()?.to_string(),
+            policy: v.get("policy")?.as_str()?.to_string(),
+            total_cycles: v.get("total_cycles")?.as_u64()?,
+            cumulative_code: f("cumulative_code")?,
+            current_code: f("current_code")?,
+            compile_cycles: f("compile_cycles")?,
+            opt_compilations: f("opt_compilations")?,
+            component_fracs: v
+                .get("component_fracs")?
+                .as_arr()?
+                .iter()
+                .map(Value::as_f64)
+                .collect::<Option<Vec<f64>>>()?,
+            samples: f("samples")?,
+            traces_recorded: f("traces_recorded")?,
+            frames_walked: f("frames_walked")?,
+            guard_checks: f("guard_checks")?,
+            guard_misses: f("guard_misses")?,
+            virtual_dispatches: f("virtual_dispatches")?,
+            stats_immediately_parameterless: f("stats_immediately_parameterless")?,
+            stats_parameterless_within_5: f("stats_parameterless_within_5")?,
+            stats_class_within_2: f("stats_class_within_2")?,
+            stats_large_at_or_beyond_4: f("stats_large_at_or_beyond_4")?,
+            methods_compiled: u32::try_from(v.get("methods_compiled")?.as_u64()?).ok()?,
+            result: match v.get("result") {
+                None | Some(Value::Null) => None,
+                Some(r) => Some(r.as_i64()?),
+            },
+            recovery_invalidations: f("recovery_invalidations").unwrap_or(0.0),
+            recovery_retries: f("recovery_retries").unwrap_or(0.0),
+            recovery_quarantined: f("recovery_quarantined").unwrap_or(0.0),
+            recovery_rejected_traces: f("recovery_rejected_traces").unwrap_or(0.0),
+        })
+    }
+
     /// Fraction of execution in `component`.
     pub fn fraction(&self, component: Component) -> f64 {
         let idx = COMPONENTS
@@ -233,7 +344,22 @@ mod tests {
             stats_large_at_or_beyond_4: 0.0,
             methods_compiled: 0,
             result: None,
+            recovery_invalidations: 0.0,
+            recovery_retries: 0.0,
+            recovery_quarantined: 0.0,
+            recovery_rejected_traces: 0.0,
         }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let m = metrics(1234, 56.0);
+        let v = m.to_value();
+        let back = RunMetrics::from_value(&v).expect("round trip");
+        assert_eq!(back.workload, m.workload);
+        assert_eq!(back.total_cycles, m.total_cycles);
+        assert_eq!(back.component_fracs.len(), m.component_fracs.len());
+        assert_eq!(back.result, m.result);
     }
 
     #[test]

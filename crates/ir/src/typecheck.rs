@@ -200,7 +200,7 @@ impl Table {
         }
         let merged = match (self.tag[ra as usize], self.tag[rb as usize]) {
             (None, t) | (t, None) => t,
-            (Some(x), Some(y)) => Some(self.merge_tags(x, y).map_err(|e| e)?),
+            (Some(x), Some(y)) => Some(self.merge_tags(x, y)?),
         };
         self.parent[rb as usize] = ra;
         self.tag[ra as usize] = merged;

@@ -23,7 +23,7 @@ use std::collections::HashSet;
 pub fn simplify(
     mut body: Vec<Instr>,
     mut instr_node: Vec<u32>,
-    nodes: &mut Vec<InlineNode>,
+    nodes: &mut [InlineNode],
     num_regs: u16,
 ) -> (Vec<Instr>, Vec<u32>) {
     for _ in 0..4 {
@@ -80,17 +80,17 @@ fn fold_and_propagate(body: &mut [Instr], num_regs: u16) -> bool {
         }
     }
 
-    for i in 0..body.len() {
+    for (i, instr) in body.iter_mut().enumerate() {
         if leaders.contains(&(i as u32)) {
             state.iter_mut().for_each(|s| *s = Abs::Unknown);
             global_cache.clear();
         }
         // A repeated load of a still-cached global becomes a register copy
         // (which the copy propagation below then usually erases entirely).
-        if let Instr::GetGlobal { dst, global } = body[i] {
+        if let Instr::GetGlobal { dst, global } = *instr {
             if let Some(&cached) = global_cache.get(&global) {
                 if cached != dst {
-                    body[i] = Instr::Move { dst, src: cached };
+                    *instr = Instr::Move { dst, src: cached };
                     changed = true;
                 }
             }
@@ -103,7 +103,7 @@ fn fold_and_propagate(body: &mut [Instr], num_regs: u16) -> bool {
                 *changed = true;
             }
         };
-        match &mut body[i] {
+        match instr {
             Instr::Move { src, .. } => rewrite(&state, src, &mut changed),
             Instr::Bin { lhs, rhs, .. } => {
                 rewrite(&state, lhs, &mut changed);
@@ -150,7 +150,7 @@ fn fold_and_propagate(body: &mut [Instr], num_regs: u16) -> bool {
         }
 
         // Fold where operands are known.
-        let replacement = match &body[i] {
+        let replacement = match &*instr {
             Instr::Move { dst, src } => match value(&state, *src) {
                 Abs::Const(v) => Some(Instr::Const { dst: *dst, value: v }),
                 Abs::Null => Some(Instr::ConstNull { dst: *dst }),
@@ -185,14 +185,14 @@ fn fold_and_propagate(body: &mut [Instr], num_regs: u16) -> bool {
             _ => None,
         };
         if let Some(r) = replacement {
-            if body[i] != r {
-                body[i] = r;
+            if *instr != r {
+                *instr = r;
                 changed = true;
             }
         }
 
         // Transfer function: update the lattice for the definition.
-        let def_update: Option<(Reg, Abs)> = match &body[i] {
+        let def_update: Option<(Reg, Abs)> = match &*instr {
             Instr::Const { dst, value } => Some((*dst, Abs::Const(*value))),
             Instr::ConstNull { dst } => Some((*dst, Abs::Null)),
             Instr::Move { dst, src } => {
@@ -226,7 +226,7 @@ fn fold_and_propagate(body: &mut [Instr], num_regs: u16) -> bool {
         }
 
         // Maintain the global cache.
-        match &body[i] {
+        match &*instr {
             Instr::GetGlobal { dst, global } => {
                 global_cache.insert(*global, *dst);
             }
@@ -281,7 +281,7 @@ fn eval_cond(cond: Cond, a: i64, b: i64) -> bool {
 fn eliminate(
     body: Vec<Instr>,
     instr_node: Vec<u32>,
-    nodes: &mut Vec<InlineNode>,
+    nodes: &mut [InlineNode],
 ) -> (Vec<Instr>, Vec<u32>, bool) {
     let n = body.len();
     if n == 0 {
@@ -343,11 +343,10 @@ fn eliminate(
         }
         match &body[i] {
             Instr::Work { units: 0 } => keep[i] = false,
-            Instr::Jump { target } => {
-                if *target as usize == i + 1 {
+            Instr::Jump { target }
+                if *target as usize == i + 1 => {
                     keep[i] = false;
                 }
-            }
             Instr::Move { dst, src } if dst == src => keep[i] = false,
             // Only instructions that can never fault are removable when
             // dead. `Bin` is NOT among them: the IR is untyped, so even an
@@ -358,11 +357,10 @@ fn eliminate(
             | Instr::ConstNull { dst }
             | Instr::Move { dst, .. }
             | Instr::GetGlobal { dst, .. }
-            | Instr::InstanceOf { dst, .. } => {
-                if !live_out_contains(i, *dst) {
+            | Instr::InstanceOf { dst, .. }
+                if !live_out_contains(i, *dst) => {
                     keep[i] = false;
                 }
-            }
             _ => {}
         }
     }

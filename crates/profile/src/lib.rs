@@ -31,6 +31,7 @@ mod cct;
 mod dcg;
 mod key;
 mod listeners;
+mod sanitize;
 mod saved;
 mod stats;
 mod store;
@@ -39,6 +40,7 @@ pub use cct::CallingContextTree;
 pub use dcg::{Dcg, DcgConfig, HotTrace};
 pub use key::TraceKey;
 pub use listeners::{EdgeListener, MethodListener, TraceListener};
+pub use sanitize::{validate_trace, TraceDefect};
 pub use saved::{SavedProfile, SavedTrace};
 pub use stats::{DepthHistogram, TraceStatsCollector, TraceStatsReport};
 pub use store::ProfileStore;

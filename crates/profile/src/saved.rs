@@ -14,11 +14,11 @@
 
 use crate::key::TraceKey;
 use aoci_ir::{CallSiteRef, MethodId, SiteIdx};
-use serde::{Deserialize, Serialize};
+use aoci_json::{JsonError, Value};
 
 /// One serialized trace: callee index, context as (method index, site)
 /// pairs innermost-first, and profile weight.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SavedTrace {
     /// Callee method index.
     pub callee: u32,
@@ -30,7 +30,7 @@ pub struct SavedTrace {
 }
 
 /// A serializable snapshot of a trace profile.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SavedProfile {
     /// The traces.
     pub traces: Vec<SavedTrace>,
@@ -70,23 +70,89 @@ impl SavedProfile {
             .collect()
     }
 
-    /// Serializes to JSON.
+    /// Serializes to JSON (the same shape the original serde-derived form
+    /// produced: `{"traces": [{"callee", "context": [[m, s], ...],
+    /// "weight"}, ...]}`).
     ///
     /// # Errors
     ///
-    /// Propagates `serde_json` encoding failures (not expected for this
-    /// data shape).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    /// Encoding cannot fail for this data shape; the `Result` is kept so
+    /// the signature matches a fallible serializer.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let traces: Vec<Value> = self
+            .traces
+            .iter()
+            .map(|t| {
+                Value::obj([
+                    ("callee".to_string(), Value::from(t.callee)),
+                    (
+                        "context".to_string(),
+                        Value::Arr(
+                            t.context
+                                .iter()
+                                .map(|&(m, s)| {
+                                    Value::Arr(vec![
+                                        Value::from(m),
+                                        Value::from(s as u32),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("weight".to_string(), Value::from(t.weight)),
+                ])
+            })
+            .collect();
+        let doc = Value::obj([("traces".to_string(), Value::Arr(traces))]);
+        Ok(aoci_json::to_string_pretty(&doc))
     }
 
     /// Deserializes from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the parse error for malformed input.
-    pub fn from_json(s: &str) -> serde_json::Result<Self> {
-        serde_json::from_str(s)
+    /// Returns the parse error for malformed input, including documents
+    /// that parse as JSON but do not match the [`SavedProfile`] shape.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let shape_err = |message: &str| JsonError { offset: 0, message: message.to_string() };
+        let doc = aoci_json::parse(s)?;
+        let traces = doc
+            .get("traces")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| shape_err("missing 'traces' array"))?;
+        let mut out = Vec::with_capacity(traces.len());
+        for t in traces {
+            let callee = t
+                .get("callee")
+                .and_then(Value::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| shape_err("trace missing u32 'callee'"))?;
+            let weight = t
+                .get("weight")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| shape_err("trace missing numeric 'weight'"))?;
+            let raw_context = t
+                .get("context")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| shape_err("trace missing 'context' array"))?;
+            let mut context = Vec::with_capacity(raw_context.len());
+            for pair in raw_context {
+                let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    shape_err("context entries must be [method, site] pairs")
+                })?;
+                let m = pair[0]
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| shape_err("context method must be u32"))?;
+                let site = pair[1]
+                    .as_u64()
+                    .and_then(|n| u16::try_from(n).ok())
+                    .ok_or_else(|| shape_err("context site must be u16"))?;
+                context.push((m, site));
+            }
+            out.push(SavedTrace { callee, context, weight });
+        }
+        Ok(SavedProfile { traces: out })
     }
 }
 

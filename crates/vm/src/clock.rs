@@ -32,6 +32,11 @@ pub enum Component {
     /// The AI missing-edge organizer (folded into AIOrganizer in the paper's
     /// figure; tracked separately here and merged by the harness).
     MissingEdgeOrganizer,
+    /// Recovery machinery: guard-health bookkeeping, code invalidation,
+    /// compile-retry scheduling and profile sanitization. Not a Figure 6
+    /// bar — the paper's system has no fault model — but charged like any
+    /// other AOS component so degradation shows up in the cost breakdown.
+    Recovery,
     /// Application code running in baseline-compiled methods.
     AppBaseline,
     /// Application code running in optimized methods.
@@ -41,7 +46,7 @@ pub enum Component {
 }
 
 /// All components, in a fixed order usable for dense tables.
-pub const COMPONENTS: [Component; 10] = [
+pub const COMPONENTS: [Component; 11] = [
     Component::Listeners,
     Component::CompilationThread,
     Component::DecayOrganizer,
@@ -49,6 +54,7 @@ pub const COMPONENTS: [Component; 10] = [
     Component::MethodSampleOrganizer,
     Component::ControllerThread,
     Component::MissingEdgeOrganizer,
+    Component::Recovery,
     Component::AppBaseline,
     Component::AppOptimized,
     Component::BaselineCompilation,
@@ -82,6 +88,7 @@ impl fmt::Display for Component {
             Component::MethodSampleOrganizer => "MethodSampleOrganizer",
             Component::ControllerThread => "ControllerThread",
             Component::MissingEdgeOrganizer => "MissingEdgeOrganizer",
+            Component::Recovery => "Recovery",
             Component::AppBaseline => "App(baseline)",
             Component::AppOptimized => "App(optimized)",
             Component::BaselineCompilation => "BaselineCompilation",

@@ -65,6 +65,32 @@ pub enum VmError {
         /// The configured limit that was hit.
         limit: usize,
     },
+    /// An instruction referenced a register outside the frame's register
+    /// file — compiled code and its frame disagree, which indicates a
+    /// corrupt or mis-installed [`MethodVersion`](crate::MethodVersion).
+    BadRegister {
+        /// Method executing when the fault occurred.
+        method: MethodId,
+        /// Program counter within the executing version.
+        pc: usize,
+        /// The out-of-range register index.
+        reg: usize,
+    },
+    /// The program counter ran past the end of a method body without
+    /// reaching a `Return` — a malformed or truncated code version.
+    PcOutOfRange {
+        /// Method whose body was overrun.
+        method: MethodId,
+        /// The offending program counter.
+        pc: usize,
+    },
+    /// The interpreter needed an active frame and found none — an
+    /// internally inconsistent machine state (e.g. executing after the
+    /// entry frame returned).
+    NoActiveFrame {
+        /// What the interpreter was doing when the stack came up empty.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -90,6 +116,15 @@ impl fmt::Display for VmError {
             }
             VmError::StackOverflow { limit } => {
                 write!(f, "call stack exceeded the configured limit of {limit} frames")
+            }
+            VmError::BadRegister { method, pc, reg } => {
+                write!(f, "register r{reg} out of range in {method} at pc {pc}")
+            }
+            VmError::PcOutOfRange { method, pc } => {
+                write!(f, "pc {pc} past the end of {method}'s body")
+            }
+            VmError::NoActiveFrame { context } => {
+                write!(f, "no active frame while {context}")
             }
         }
     }

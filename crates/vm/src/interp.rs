@@ -53,6 +53,18 @@ pub enum RunOutcome {
     BudgetExhausted,
 }
 
+/// Per-method guard counters, attributed to the *compiled host method*
+/// executing the guard (inlined callees' guards count against the method
+/// whose optimized body contains them). The adaptive system reads these to
+/// detect guard-thrashing code versions worth invalidating.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MethodGuardStats {
+    /// Inline guards executed in this method's code.
+    pub checks: u64,
+    /// Of which failed into the fallback path.
+    pub misses: u64,
+}
+
 /// Dynamic execution counters, useful for analysing inlining effectiveness
 /// (e.g. how many guards executed and how often they failed into the
 /// virtual-dispatch fallback).
@@ -100,6 +112,7 @@ pub struct Vm<'p> {
     finished: Option<Option<Value>>,
     started: bool,
     counters: ExecCounters,
+    guard_stats: Vec<MethodGuardStats>,
 }
 
 impl<'p> Vm<'p> {
@@ -123,12 +136,19 @@ impl<'p> Vm<'p> {
             finished: None,
             started: false,
             counters: ExecCounters::default(),
+            guard_stats: vec![MethodGuardStats::default(); program.num_methods()],
         }
     }
 
     /// Returns the dynamic execution counters.
     pub fn counters(&self) -> ExecCounters {
         self.counters
+    }
+
+    /// Cumulative guard counters of `method`'s compiled code (see
+    /// [`MethodGuardStats`]).
+    pub fn guard_stats(&self, method: MethodId) -> MethodGuardStats {
+        self.guard_stats[method.index()]
     }
 
     /// Returns the program being executed.
@@ -303,6 +323,15 @@ impl<'p> Vm<'p> {
             return Err(VmError::StackOverflow { limit: self.config.max_stack_depth });
         }
         let mut regs = vec![Value::Null; version.num_regs as usize];
+        if args.len() > regs.len() {
+            // More arguments than the callee has registers: a corrupt
+            // version, not a program fault.
+            return Err(VmError::BadRegister {
+                method: version.method,
+                pc: 0,
+                reg: args.len() - 1,
+            });
+        }
         regs[..args.len()].copy_from_slice(&args);
         self.stack.push(Frame { version, pc: 0, regs, ret_dst });
         Ok(())
@@ -322,10 +351,17 @@ impl<'p> Vm<'p> {
 
     /// Executes one instruction.
     fn step(&mut self) -> Result<(), VmError> {
-        let frame = self.stack.last().expect("step requires a frame");
+        let frame = self
+            .stack
+            .last()
+            .ok_or(VmError::NoActiveFrame { context: "executing an instruction" })?;
         let version = Arc::clone(&frame.version);
         let pc = frame.pc;
-        let instr = version.body[pc].clone();
+        let instr = version
+            .body
+            .get(pc)
+            .cloned()
+            .ok_or(VmError::PcOutOfRange { method: version.method, pc })?;
         let app_component = match version.level {
             OptLevel::Baseline => Component::AppBaseline,
             OptLevel::Optimized => Component::AppOptimized,
@@ -335,15 +371,15 @@ impl<'p> Vm<'p> {
         let method = version.method;
         let mut next_pc = pc + 1;
         match instr {
-            Instr::Const { dst, value } => self.set_reg(dst, Value::Int(value)),
-            Instr::ConstNull { dst } => self.set_reg(dst, Value::Null),
+            Instr::Const { dst, value } => self.set_reg(dst, Value::Int(value))?,
+            Instr::ConstNull { dst } => self.set_reg(dst, Value::Null)?,
             Instr::Move { dst, src } => {
-                let v = self.reg(src);
-                self.set_reg(dst, v);
+                let v = self.reg(src)?;
+                self.set_reg(dst, v)?;
             }
             Instr::Bin { op, dst, lhs, rhs } => {
-                let a = self.int(self.reg(lhs))?;
-                let b = self.int(self.reg(rhs))?;
+                let a = self.int(self.reg(lhs)?)?;
+                let b = self.int(self.reg(rhs)?)?;
                 let r = match op {
                     BinOp::Add => a.wrapping_add(b),
                     BinOp::Sub => a.wrapping_sub(b),
@@ -364,85 +400,85 @@ impl<'p> Vm<'p> {
                     BinOp::Or => a | b,
                     BinOp::Xor => a ^ b,
                 };
-                self.set_reg(dst, Value::Int(r));
+                self.set_reg(dst, Value::Int(r))?;
             }
             Instr::Work { .. } => {}
             Instr::New { dst, class } => {
                 let layout = self.program.class(class).layout_size();
                 let r = self.heap.alloc_object(class, layout);
-                self.set_reg(dst, Value::Ref(r));
+                self.set_reg(dst, Value::Ref(r))?;
             }
             Instr::GetField { dst, obj, field } => {
-                let r = self.reg(obj).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let r = self.reg(obj)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
                 let off = self.program.field(field).offset();
                 let v = self
                     .heap
                     .get_field(r, off)
                     .ok_or(VmError::TypeError { method, pc, expected: "object" })?;
-                self.set_reg(dst, v);
+                self.set_reg(dst, v)?;
             }
             Instr::PutField { obj, field, src } => {
-                let r = self.reg(obj).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let r = self.reg(obj)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
                 let off = self.program.field(field).offset();
-                let v = self.reg(src);
+                let v = self.reg(src)?;
                 if !self.heap.put_field(r, off, v) {
                     return Err(VmError::TypeError { method, pc, expected: "object" });
                 }
             }
             Instr::GetGlobal { dst, global } => {
                 let v = self.globals[global.index()];
-                self.set_reg(dst, v);
+                self.set_reg(dst, v)?;
             }
             Instr::PutGlobal { global, src } => {
-                self.globals[global.index()] = self.reg(src);
+                self.globals[global.index()] = self.reg(src)?;
             }
             Instr::ArrNew { dst, len } => {
-                let n = self.int(self.reg(len))?;
+                let n = self.int(self.reg(len)?)?;
                 if n < 0 {
                     return Err(VmError::NegativeArrayLength { method, pc });
                 }
                 let r = self.heap.alloc_array(n as u32);
-                self.set_reg(dst, Value::Ref(r));
+                self.set_reg(dst, Value::Ref(r))?;
             }
             Instr::ArrGet { dst, arr, idx } => {
-                let r = self.reg(arr).as_ref().ok_or(VmError::NullDeref { method, pc })?;
-                let i = self.int(self.reg(idx))?;
+                let r = self.reg(arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let i = self.int(self.reg(idx)?)?;
                 let v = self
                     .heap
                     .arr_get(r, i)
                     .ok_or(VmError::IndexOutOfBounds { method, pc, index: i })?;
-                self.set_reg(dst, v);
+                self.set_reg(dst, v)?;
             }
             Instr::ArrSet { arr, idx, src } => {
-                let r = self.reg(arr).as_ref().ok_or(VmError::NullDeref { method, pc })?;
-                let i = self.int(self.reg(idx))?;
-                let v = self.reg(src);
+                let r = self.reg(arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let i = self.int(self.reg(idx)?)?;
+                let v = self.reg(src)?;
                 if !self.heap.arr_set(r, i, v) {
                     return Err(VmError::IndexOutOfBounds { method, pc, index: i });
                 }
             }
             Instr::ArrLen { dst, arr } => {
-                let r = self.reg(arr).as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let r = self.reg(arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
                 let n = self
                     .heap
                     .arr_len(r)
                     .ok_or(VmError::TypeError { method, pc, expected: "array" })?;
-                self.set_reg(dst, Value::Int(n));
+                self.set_reg(dst, Value::Int(n))?;
             }
             Instr::InstanceOf { dst, obj, class } => {
-                let result = match self.reg(obj) {
+                let result = match self.reg(obj)? {
                     Value::Ref(r) => match self.heap.class_of(r) {
                         Some(c) => self.program.is_subclass(c, class),
                         None => false,
                     },
                     _ => false,
                 };
-                self.set_reg(dst, Value::Int(result as i64));
+                self.set_reg(dst, Value::Int(result as i64))?;
             }
             Instr::Jump { target } => next_pc = target as usize,
             Instr::Branch { cond, lhs, rhs, target } => {
-                let a = self.reg(lhs);
-                let b = self.reg(rhs);
+                let a = self.reg(lhs)?;
+                let b = self.reg(rhs)?;
                 let taken = match cond {
                     Cond::Eq => a.vm_eq(b),
                     Cond::Ne => !a.vm_eq(b),
@@ -456,18 +492,20 @@ impl<'p> Vm<'p> {
                 }
             }
             Instr::GuardClass { recv, class, else_target } => {
-                let pass = match self.reg(recv) {
+                let pass = match self.reg(recv)? {
                     Value::Ref(r) => self.heap.class_of(r) == Some(class),
                     _ => false,
                 };
                 self.counters.guard_checks += 1;
+                self.guard_stats[method.index()].checks += 1;
                 if !pass {
                     self.counters.guard_misses += 1;
+                    self.guard_stats[method.index()].misses += 1;
                     next_pc = else_target as usize;
                 }
             }
             Instr::GuardMethod { recv, selector, target, else_target } => {
-                let pass = match self.reg(recv) {
+                let pass = match self.reg(recv)? {
                     Value::Ref(r) => self
                         .heap
                         .class_of(r)
@@ -476,14 +514,19 @@ impl<'p> Vm<'p> {
                     _ => false,
                 };
                 self.counters.guard_checks += 1;
+                self.guard_stats[method.index()].checks += 1;
                 if !pass {
                     self.counters.guard_misses += 1;
+                    self.guard_stats[method.index()].misses += 1;
                     next_pc = else_target as usize;
                 }
             }
             Instr::CallStatic { dst, callee, args, .. } => {
                 self.counters.calls += 1;
-                let argv: Vec<Value> = args.iter().map(|&a| self.reg(a)).collect();
+                let argv = args
+                    .iter()
+                    .map(|&a| self.reg(a))
+                    .collect::<Result<Vec<Value>, VmError>>()?;
                 let callee_version = self.ensure_compiled(callee);
                 // The caller's pc stays on the call instruction while the
                 // callee runs (stack walks read the site from it); it is
@@ -494,7 +537,7 @@ impl<'p> Vm<'p> {
             Instr::CallVirtual { dst, selector, recv, args, .. } => {
                 self.counters.calls += 1;
                 self.counters.virtual_dispatches += 1;
-                let recv_val = self.reg(recv);
+                let recv_val = self.reg(recv)?;
                 let r = recv_val.as_ref().ok_or(VmError::NullDeref { method, pc })?;
                 let class = self
                     .heap
@@ -506,21 +549,36 @@ impl<'p> Vm<'p> {
                     .ok_or(VmError::NoSuchMethod { selector, method, pc })?;
                 let mut argv = Vec::with_capacity(args.len() + 1);
                 argv.push(recv_val);
-                argv.extend(args.iter().map(|&a| self.reg(a)));
+                for &a in &args {
+                    argv.push(self.reg(a)?);
+                }
                 let callee_version = self.ensure_compiled(target);
                 self.push_frame(callee_version, argv, dst)?;
                 return Ok(());
             }
             Instr::Return { src } => {
-                let value = src.map(|r| self.reg(r));
-                let finished_frame = self.stack.pop().expect("return requires a frame");
+                let value = match src {
+                    Some(r) => Some(self.reg(r)?),
+                    None => None,
+                };
+                let finished_frame = self
+                    .stack
+                    .pop()
+                    .ok_or(VmError::NoActiveFrame { context: "returning from a call" })?;
                 match self.stack.last_mut() {
                     None => {
                         self.finished = Some(value);
                     }
                     Some(caller) => {
                         if let (Some(dst), Some(v)) = (finished_frame.ret_dst, value) {
-                            caller.regs[dst.index()] = v;
+                            let slot = caller.regs.get_mut(dst.index()).ok_or(
+                                VmError::BadRegister {
+                                    method: caller.version.method,
+                                    pc: caller.pc,
+                                    reg: dst.index(),
+                                },
+                            )?;
+                            *slot = v;
                         }
                         caller.pc += 1; // advance past the call instruction
                     }
@@ -528,16 +586,37 @@ impl<'p> Vm<'p> {
                 return Ok(());
             }
         }
-        self.stack.last_mut().expect("frame still present").pc = next_pc;
+        self.stack
+            .last_mut()
+            .ok_or(VmError::NoActiveFrame { context: "advancing the program counter" })?
+            .pc = next_pc;
         Ok(())
     }
 
-    fn reg(&self, r: Reg) -> Value {
-        self.stack.last().expect("active frame").regs[r.index()]
+    fn reg(&self, r: Reg) -> Result<Value, VmError> {
+        let frame = self
+            .stack
+            .last()
+            .ok_or(VmError::NoActiveFrame { context: "reading a register" })?;
+        frame.regs.get(r.index()).copied().ok_or(VmError::BadRegister {
+            method: frame.version.method,
+            pc: frame.pc,
+            reg: r.index(),
+        })
     }
 
-    fn set_reg(&mut self, r: Reg, v: Value) {
-        self.stack.last_mut().expect("active frame").regs[r.index()] = v;
+    fn set_reg(&mut self, r: Reg, v: Value) -> Result<(), VmError> {
+        let frame = self
+            .stack
+            .last_mut()
+            .ok_or(VmError::NoActiveFrame { context: "writing a register" })?;
+        let (method, pc) = (frame.version.method, frame.pc);
+        let slot = frame
+            .regs
+            .get_mut(r.index())
+            .ok_or(VmError::BadRegister { method, pc, reg: r.index() })?;
+        *slot = v;
+        Ok(())
     }
 }
 

@@ -63,7 +63,7 @@ pub use code::{InlineMap, InlineMapBuilder, InlineNode, MethodVersion, OptLevel}
 pub use cost::CostModel;
 pub use error::VmError;
 pub use heap::{Heap, ObjRef};
-pub use interp::{ExecCounters, RunOutcome, Vm, VmConfig};
+pub use interp::{ExecCounters, MethodGuardStats, RunOutcome, Vm, VmConfig};
 pub use registry::CodeRegistry;
 pub use stack::{SourceFrame, StackSnapshot};
 pub use value::Value;

@@ -26,6 +26,8 @@ pub struct CodeRegistry {
     opt_compilations: u32,
     /// Number of baseline compilations performed.
     baseline_compilations: u32,
+    /// Number of optimized versions invalidated (guard-thrash recovery).
+    invalidations: u32,
 }
 
 impl CodeRegistry {
@@ -71,6 +73,30 @@ impl CodeRegistry {
     /// Baseline-compiles `def` and installs the result.
     pub fn install_baseline(&mut self, def: &aoci_ir::MethodDef) -> Arc<MethodVersion> {
         self.install(MethodVersion::baseline(def))
+    }
+
+    /// Invalidates the current *optimized* version of `method`: the slot is
+    /// cleared, so the method falls back to (re-)baseline compilation at its
+    /// next invocation — the graceful-degradation path for guard-thrashing
+    /// code. Activations already on the stack keep their `Arc` and finish in
+    /// the old version (no OSR). Returns `false` (and does nothing) when the
+    /// method has no optimized version installed.
+    pub fn invalidate(&mut self, method: MethodId) -> bool {
+        let slot = &mut self.current[method.index()];
+        match slot.as_ref() {
+            Some(v) if v.level == OptLevel::Optimized => {
+                self.current_optimized_size -= v.code_size as u64;
+                self.invalidations += 1;
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of optimized versions invalidated.
+    pub fn invalidations(&self) -> u32 {
+        self.invalidations
     }
 
     /// Total abstract size of all optimized code ever generated. This is the
@@ -144,6 +170,25 @@ mod tests {
         assert_eq!(r.cumulative_optimized_size(), 180);
         assert_eq!(r.current_optimized_size(), 80);
         assert_eq!(r.opt_compilations(), 2);
+    }
+
+    #[test]
+    fn invalidation_clears_slot_and_accounting() {
+        let mut r = CodeRegistry::new(2);
+        let m0 = MethodId::from_index(0);
+        r.install(version(0, OptLevel::Optimized, 100));
+        assert_eq!(r.current_optimized_size(), 100);
+        assert!(r.invalidate(m0));
+        assert!(r.current(m0).is_none(), "slot cleared → baseline at next invocation");
+        assert_eq!(r.current_optimized_size(), 0);
+        // Cumulative size is history, not residency: it stays.
+        assert_eq!(r.cumulative_optimized_size(), 100);
+        assert_eq!(r.invalidations(), 1);
+        // Baseline code and empty slots are not invalidatable.
+        assert!(!r.invalidate(m0));
+        r.install(version(1, OptLevel::Baseline, 10));
+        assert!(!r.invalidate(MethodId::from_index(1)));
+        assert_eq!(r.invalidations(), 1);
     }
 
     #[test]

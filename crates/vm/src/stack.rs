@@ -77,9 +77,13 @@ impl StackSnapshot {
                 }
             }
             let caller = self.frames[i].method;
-            let site = self.frames[i]
-                .callsite_to_inner
-                .expect("non-innermost frames carry a call site");
+            // Non-innermost frames normally carry a call site; a frame
+            // without one means the walk was truncated or the snapshot is
+            // damaged — stop extending rather than panic, yielding a
+            // shorter (still valid) context.
+            let Some(site) = self.frames[i].callsite_to_inner else {
+                break;
+            };
             context.push(CallSiteRef::new(caller, site));
         }
         Some((callee, context))

@@ -90,7 +90,7 @@ fn assemble(
     for (i, (spec, class)) in impls.iter().zip([class_a, class_b]).enumerate() {
         let mut m = b.virtual_method(format!("impl{i}"), class, sel);
         let nregs = SCRATCH_REGS;
-        for _ in (1 + 0)..nregs {
+        for _ in 1..nregs {
             m.fresh_reg();
         }
         for op in &spec.ops {
@@ -202,6 +202,9 @@ fn outcome(program: &Program, versions: Option<Vec<aoci_vm::MethodVersion>>) -> 
             VmError::NoSuchMethod { .. } => "nosuch",
             VmError::NegativeArrayLength { .. } => "neglen",
             VmError::StackOverflow { .. } => "overflow",
+            VmError::BadRegister { .. } => "badreg",
+            VmError::PcOutOfRange { .. } => "badpc",
+            VmError::NoActiveFrame { .. } => "noframe",
         }
         .to_string()
     })

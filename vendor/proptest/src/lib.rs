@@ -1,0 +1,162 @@
+//! Minimal, dependency-free stand-in for the subset of the `proptest` API
+//! used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the real `proptest`
+//! cannot be fetched. This vendored crate implements just enough —
+//! [`Strategy`] with `prop_map`, `any`, ranges and tuples/arrays as
+//! strategies, `prop::collection::vec`, `prop_oneof!`, `proptest!` and the
+//! `prop_assert*` macros — to run the workspace's property tests unchanged.
+//! Generation is purely random (seeded, deterministic); there is no
+//! shrinking. Failing cases therefore report the failing input via the
+//! panic message only.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of `proptest::prop` (only `collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Mirror of `proptest::arbitrary::any`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// The common-imports prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Assertion macros: plain panicking assertions (no shrink-and-replay).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The `proptest! { ... }` block: each contained `#[test] fn name(pat in
+/// strategy, ...) { body }` becomes a plain test that draws `cases` inputs
+/// from a deterministic RNG and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg).cases; $($rest)*);
+    };
+    (@fns $cases:expr; $($(#[$meta:meta])* fn $name:ident ($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u32 = $cases;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..cases {
+                    $crate::proptest!(@bind rng; $($args)*);
+                    $body
+                }
+            }
+        )*
+    };
+    (@bind $rng:ident;) => {};
+    (@bind $rng:ident; $pat:pat_param in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&$strat, &mut $rng);
+    };
+    (@bind $rng:ident; $pat:pat_param in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&$strat, &mut $rng);
+        $crate::proptest!(@bind $rng; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns 64u32; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Shape {
+        Dot,
+        Line(u8),
+        Pair(u8, u8),
+    }
+
+    fn shape_strategy() -> impl Strategy<Value = Shape> {
+        prop_oneof![
+            (0u8..=0).prop_map(|_| Shape::Dot),
+            any::<u8>().prop_map(Shape::Line),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Shape::Pair(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 0.25f64..0.75, z in 1u16..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<i8>(), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_map_work(s in shape_strategy(), pair in (any::<bool>(), 0u32..10)) {
+            match s {
+                Shape::Dot | Shape::Line(_) | Shape::Pair(..) => {}
+            }
+            prop_assert!(pair.1 < 10);
+            prop_assert_ne!(pair.1, 10);
+        }
+
+        #[test]
+        fn arrays_generate(a in [0u8..4, 0u8..4], bytes in any::<[u8; 2]>()) {
+            prop_assert!(a[0] < 4 && a[1] < 4);
+            let _ = bytes;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut rng = crate::test_runner::TestRng::deterministic("x");
+            let s = (0u32..1000, 0u32..1000);
+            (0..10)
+                .map(|_| s.generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}
