@@ -162,6 +162,17 @@ impl AosConfig {
     pub fn context_insensitive() -> Self {
         Self::new(PolicyKind::ContextInsensitive)
     }
+
+    /// Default configuration for a given policy with on-stack replacement
+    /// enabled: hot baseline loops are promoted into optimized code
+    /// mid-activation, and invalidated or thrashing optimized activations
+    /// deoptimize back to baseline mid-loop instead of finishing on stale
+    /// code.
+    pub fn with_osr(policy: PolicyKind) -> Self {
+        let mut config = Self::new(policy);
+        config.vm.osr_enabled = true;
+        config
+    }
 }
 
 #[cfg(test)]

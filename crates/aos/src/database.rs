@@ -208,6 +208,7 @@ mod tests {
                 inline_map: InlineMap::baseline(mid(0), 0),
                 code_size: 0,
                 version_id: 0,
+                osr_map: aoci_vm::OsrMap::empty(),
             },
             decisions,
             refusals,

@@ -70,5 +70,5 @@ mod system;
 pub use config::{AosConfig, ProfileBackend, RecoveryConfig};
 pub use database::{AosDatabase, CompilationRecord};
 pub use fault::{CompileFault, FaultConfig, FaultInjector, InjectedFaults, TraceCorruption};
-pub use report::{AosReport, RecoveryEvents};
+pub use report::{AosReport, OsrEvents, RecoveryEvents};
 pub use system::{AosSystem, FullRunResult};

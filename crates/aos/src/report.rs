@@ -37,6 +37,24 @@ impl RecoveryEvents {
     }
 }
 
+/// On-stack-replacement activity of a run: what the VM asked for, what the
+/// driver granted, and the transitions actually performed. All zeros when
+/// OSR is disabled (the default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OsrEvents {
+    /// Promotion requests the VM raised (hot baseline loops).
+    pub requests: u64,
+    /// Requests the driver declined (quarantined method, recompile budget
+    /// exhausted, or no usable OSR entry point).
+    pub denied: u64,
+    /// OSR-in transitions performed: baseline activations promoted into
+    /// optimized code mid-loop.
+    pub entries: u64,
+    /// OSR-out transitions performed: optimized activations deoptimized
+    /// back to baseline mid-loop (invalidation or frame-local thrash).
+    pub exits: u64,
+}
+
 /// Metrics of one complete AOS run.
 #[derive(Clone, Debug)]
 pub struct AosReport {
@@ -72,6 +90,8 @@ pub struct AosReport {
     /// What the recovery layer did (invalidations, retries, quarantines,
     /// rejected traces) and what the fault injector delivered.
     pub recovery: RecoveryEvents,
+    /// On-stack-replacement activity (requests, grants, transitions).
+    pub osr: OsrEvents,
 }
 
 impl AosReport {
@@ -130,9 +150,16 @@ mod tests {
             dcg_entries: 3,
             final_rules: 1,
             trace_stats: aoci_profile::TraceStatsCollector::new().report(),
-            counters: ExecCounters { calls: 10, virtual_dispatches: 4, guard_checks: 8, guard_misses: 2 },
+            counters: ExecCounters {
+                calls: 10,
+                virtual_dispatches: 4,
+                guard_checks: 8,
+                guard_misses: 2,
+                ..ExecCounters::default()
+            },
             compilations: Vec::new(),
             recovery: RecoveryEvents::default(),
+            osr: OsrEvents::default(),
         };
         assert_eq!(r.total_cycles(), 1000);
         assert_eq!(r.compile_cycles(), 100);

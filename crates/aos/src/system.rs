@@ -3,14 +3,17 @@
 use crate::config::{AosConfig, RecoveryConfig};
 use crate::database::AosDatabase;
 use crate::fault::{CompileFault, FaultInjector, TraceCorruption};
-use crate::report::{AosReport, RecoveryEvents};
+use crate::report::{AosReport, OsrEvents, RecoveryEvents};
 use aoci_core::{InlineOracle, PolicyEngine, RuleSet};
 use aoci_ir::{CallSiteRef, MethodId, Program, SiteIdx};
 use aoci_profile::{
     validate_trace, CallingContextTree, Dcg, MethodListener, ProfileStore, TraceKey,
     TraceListener, TraceStatsCollector,
 };
-use aoci_vm::{Component, MethodGuardStats, RunOutcome, StackSnapshot, Vm, VmError};
+use aoci_vm::{
+    Component, MethodGuardStats, MethodVersion, OptLevel, OsrRequest, RunOutcome, StackSnapshot,
+    Vm, VmError,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -67,6 +70,9 @@ pub struct AosSystem<'p> {
     retry_after: Vec<(u64, MethodId)>,
     /// Methods blocked from optimizing compilation for the rest of the run.
     quarantined: HashSet<MethodId>,
+    /// OSR promotion requests received / denied so far (the transition
+    /// counts themselves live in the VM's [`aoci_vm::ExecCounters`]).
+    osr: OsrEvents,
 }
 
 impl<'p> AosSystem<'p> {
@@ -109,6 +115,7 @@ impl<'p> AosSystem<'p> {
             invalidation_streaks: HashMap::new(),
             retry_after: Vec::new(),
             quarantined: HashSet::new(),
+            osr: OsrEvents::default(),
             config,
         }
     }
@@ -194,6 +201,10 @@ impl<'p> AosSystem<'p> {
             }
             RunOutcome::Sample(snapshot) => {
                 self.on_sample(&snapshot);
+                Ok(true)
+            }
+            RunOutcome::OsrRequest(req) => {
+                self.on_osr_request(req);
                 Ok(true)
             }
             RunOutcome::BudgetExhausted => unreachable!("unbounded budget"),
@@ -285,6 +296,9 @@ impl<'p> AosSystem<'p> {
         // (and anything keyed to it, like the fault injector's draw
         // sequence) is deterministic.
         hot.sort_unstable_by_key(|m| m.index());
+        if std::env::var("AOCI_DEBUG_HOT").is_ok() {
+            eprintln!("tick {}: samples={:?} min_share={} hot={:?}", self.sample_count, self.method_samples, min_share, hot);
+        }
         for m in hot {
             self.controller_enqueue(m);
         }
@@ -411,68 +425,132 @@ impl<'p> AosSystem<'p> {
 
     /// The compilation thread: executes queued plans, charging compile
     /// cycles and installing the resulting code (effective at each method's
-    /// next invocation).
+    /// next invocation — or mid-activation, when a later OSR request
+    /// promotes a running frame into the installed version).
     fn process_compile_queue(&mut self) {
         while let Some(method) = self.compile_queue.pop_front() {
             self.queued.remove(&method);
             if self.quarantined.contains(&method) {
                 continue; // quarantined while waiting in the queue
             }
-            if let Some(kind) = self.fault.as_mut().and_then(|f| f.compile_fault()) {
-                let wasted = match kind {
-                    // Aborted partway: only the fixed setup cost was spent.
-                    CompileFault::Bailout => self.config.cost.opt_compile_fixed,
-                    // Completed then rejected as oversized: full cost spent,
-                    // output discarded.
-                    CompileFault::Oversize => {
-                        let oracle = InlineOracle::with_mode(
-                            Arc::clone(&self.rules),
-                            self.config.match_mode,
-                        );
-                        let c =
-                            aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
-                        self.config.cost.opt_compile_cost(c.generated_size)
-                    }
-                };
-                self.charge(Component::CompilationThread, wasted);
-                self.handle_compile_failure(method);
+            self.compile_and_install(method);
+        }
+    }
+
+    /// Executes one compilation plan: runs the optimizing compiler under the
+    /// fault injector, charges compile cycles, and installs the result.
+    /// Returns the installed version, or `None` when an injected fault
+    /// discarded the compilation (failure bookkeeping already applied).
+    fn compile_and_install(&mut self, method: MethodId) -> Option<Arc<MethodVersion>> {
+        if let Some(kind) = self.fault.as_mut().and_then(|f| f.compile_fault()) {
+            let wasted = match kind {
+                // Aborted partway: only the fixed setup cost was spent.
+                CompileFault::Bailout => self.config.cost.opt_compile_fixed,
+                // Completed then rejected as oversized: full cost spent,
+                // output discarded.
+                CompileFault::Oversize => {
+                    let oracle = InlineOracle::with_mode(
+                        Arc::clone(&self.rules),
+                        self.config.match_mode,
+                    );
+                    let c = aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
+                    self.config.cost.opt_compile_cost(c.generated_size)
+                }
+            };
+            self.charge(Component::CompilationThread, wasted);
+            self.handle_compile_failure(method);
+            return None;
+        }
+        let oracle = InlineOracle::with_mode(Arc::clone(&self.rules), self.config.match_mode);
+        let compilation = aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
+        self.charge(
+            Component::CompilationThread,
+            self.config.cost.opt_compile_cost(compilation.generated_size),
+        );
+        self.db
+            .record_compilation(method, &compilation, self.ai_generation);
+        let installed = self.vm.registry_mut().install(compilation.version);
+        // A successful install opens a fresh guard-observation window
+        // and clears the failure streak.
+        self.compile_failures.remove(&method);
+        self.guard_window_start.insert(method, self.vm.guard_stats(method));
+        self.synthetic_misses.remove(&method);
+        // Any rule this compilation was expected to realise but did not
+        // is marked unrealized: re-requesting the same compilation under
+        // the same rules cannot succeed.
+        let mut unrealized: Vec<(CallSiteRef, MethodId)> = Vec::new();
+        for rule in self.rules.iter() {
+            let site = rule.trace.immediate_caller();
+            let callee = rule.trace.callee();
+            let Some(outer) = rule.trace.context().last().map(|c| c.method) else {
                 continue;
+            };
+            if (site.method == method || outer == method)
+                && !self.db.has_inlined(method, site, callee)
+            {
+                unrealized.push((site, callee));
             }
-            let oracle =
-                InlineOracle::with_mode(Arc::clone(&self.rules), self.config.match_mode);
-            let compilation =
-                aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
-            self.charge(
-                Component::CompilationThread,
-                self.config.cost.opt_compile_cost(compilation.generated_size),
-            );
-            self.db
-                .record_compilation(method, &compilation, self.ai_generation);
-            self.vm.registry_mut().install(compilation.version);
-            // A successful install opens a fresh guard-observation window
-            // and clears the failure streak.
-            self.compile_failures.remove(&method);
-            self.guard_window_start.insert(method, self.vm.guard_stats(method));
-            self.synthetic_misses.remove(&method);
-            // Any rule this compilation was expected to realise but did not
-            // is marked unrealized: re-requesting the same compilation under
-            // the same rules cannot succeed.
-            let mut unrealized: Vec<(CallSiteRef, MethodId)> = Vec::new();
-            for rule in self.rules.iter() {
-                let site = rule.trace.immediate_caller();
-                let callee = rule.trace.callee();
-                let Some(outer) = rule.trace.context().last().map(|c| c.method) else {
-                    continue;
-                };
-                if (site.method == method || outer == method)
-                    && !self.db.has_inlined(method, site, callee)
-                {
-                    unrealized.push((site, callee));
+        }
+        for (site, callee) in unrealized {
+            self.db.mark_unrealized(method, site, callee);
+        }
+        Some(installed)
+    }
+
+    /// Handles a hot-loop promotion request from the interpreter: obtain an
+    /// optimized version with an OSR entry at the loop's header and transfer
+    /// the running baseline activation into it mid-loop.
+    ///
+    /// Any reason the promotion cannot happen — the method is quarantined,
+    /// its recompile budget is spent, the compilation faulted, or the
+    /// optimized body keeps no entry point at this header (the loop was
+    /// folded away) — denies the request; where a future request could
+    /// never fare better, further requests are suppressed so the loop stops
+    /// paying back-edge bookkeeping. The activation keeps running baseline:
+    /// degraded, never wrong.
+    fn on_osr_request(&mut self, req: OsrRequest) {
+        self.osr.requests += 1;
+        let method = req.method;
+        if self.quarantined.contains(&method) {
+            self.osr.denied += 1;
+            self.vm.suppress_osr(method);
+            return;
+        }
+        // An optimized version may already be installed (this activation
+        // simply predates the install): enter it directly, no compilation.
+        let current = self.vm.registry().current(method).cloned();
+        if let Some(v) = current.filter(|v| v.level == OptLevel::Optimized) {
+            if !self.vm.osr_enter(&v, req.loop_header) {
+                // The installed body has no entry at this header; a repeat
+                // request against the same version cannot do better.
+                self.osr.denied += 1;
+                self.vm.suppress_osr(method);
+            }
+            return;
+        }
+        if self.db.recompiles(method) >= self.config.max_recompiles_per_method {
+            self.osr.denied += 1;
+            self.vm.suppress_osr(method);
+            return;
+        }
+        // Compile on the spot — the requesting loop is burning baseline
+        // cycles right now; waiting for the hot-methods organizer only
+        // helps the *next* invocation.
+        self.charge(Component::ControllerThread, self.config.controller_cost_per_event);
+        match self.compile_and_install(method) {
+            Some(v) => {
+                // The install satisfies any queued plan for this method.
+                if self.queued.remove(&method) {
+                    self.compile_queue.retain(|&m| m != method);
+                }
+                if !self.vm.osr_enter(&v, req.loop_header) {
+                    // No entry point survived optimization; the next
+                    // invocation still benefits from the install.
+                    self.osr.denied += 1;
+                    self.vm.suppress_osr(method);
                 }
             }
-            for (site, callee) in unrealized {
-                self.db.mark_unrealized(method, site, callee);
-            }
+            None => self.osr.denied += 1, // injected fault; retry/backoff booked
         }
     }
 
@@ -527,7 +605,10 @@ impl<'p> AosSystem<'p> {
     /// Scans every currently-optimized method's guard-observation window;
     /// a miss rate above the threshold (over enough checks) invalidates the
     /// optimized version — the method falls back to baseline at its next
-    /// invocation (in-flight activations finish on the old code; no OSR).
+    /// invocation, and when [`aoci_vm::VmConfig::osr_enabled`] is set any
+    /// in-flight activation of the invalidated version deoptimizes back to
+    /// an equivalent baseline frame at its next loop back-edge (OSR-out)
+    /// instead of finishing on the stale code.
     ///
     /// Windows *roll*: once a window accumulates enough checks it is judged
     /// and then reset, so a phase shift is detected from the post-shift
@@ -643,11 +724,14 @@ impl<'p> AosSystem<'p> {
     }
 
     /// Blocks `method` from optimizing compilation for the rest of the run.
+    /// Also stops the interpreter raising OSR promotion requests for it —
+    /// they could only be denied.
     fn quarantine(&mut self, method: MethodId) {
         if self.quarantined.insert(method) {
             self.recovery.quarantined_methods += 1;
             self.charge(Component::Recovery, self.config.recovery.recovery_cost_per_event);
             self.retry_after.retain(|&(_, m)| m != method);
+            self.vm.suppress_osr(method);
         }
     }
 
@@ -672,6 +756,7 @@ impl<'p> AosSystem<'p> {
             counters: self.vm.counters(),
             compilations: self.db.compilation_log().to_vec(),
             recovery: self.recovery_events(),
+            osr: self.osr_events(),
         }
     }
 
@@ -695,6 +780,18 @@ impl<'p> AosSystem<'p> {
     /// The policy engine (including adaptive per-site state).
     pub fn policy(&self) -> &PolicyEngine {
         &self.policy
+    }
+
+    /// OSR activity so far: driver-side request/denial counts merged with
+    /// the VM's transition counters (also usable mid-run between
+    /// [`AosSystem::step`]s).
+    pub fn osr_events(&self) -> OsrEvents {
+        let counters = self.vm.counters();
+        OsrEvents {
+            entries: counters.osr_entries,
+            exits: counters.osr_exits,
+            ..self.osr
+        }
     }
 
     /// Recovery actions taken so far, with the injector's delivered-fault

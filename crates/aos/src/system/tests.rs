@@ -144,6 +144,7 @@ fn fixed_policy_collects_deep_traces_cins_does_not() {
             RunOutcome::Finished(_) => break,
             RunOutcome::Sample(s) => cs_sys.on_sample(&s),
             RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::OsrRequest(_) => unreachable!("osr disabled"),
         }
     }
     assert!(
@@ -157,6 +158,7 @@ fn fixed_policy_collects_deep_traces_cins_does_not() {
             RunOutcome::Finished(_) => break,
             RunOutcome::Sample(s) => ci_sys.on_sample(&s),
             RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::OsrRequest(_) => unreachable!("osr disabled"),
         }
     }
     assert!(
@@ -176,6 +178,7 @@ fn recompilations_stay_bounded() {
             RunOutcome::Finished(_) => break,
             RunOutcome::Sample(s) => sys.on_sample(&s),
             RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::OsrRequest(_) => unreachable!("osr disabled"),
         }
     }
     for m in sys.database().optimized_methods() {
@@ -224,6 +227,7 @@ fn adaptive_resolving_escalates_unskewed_sites() {
             RunOutcome::Finished(_) => break,
             RunOutcome::Sample(s) => sys.on_sample(&s),
             RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::OsrRequest(_) => unreachable!("osr disabled"),
         }
     }
     assert!(
@@ -325,6 +329,7 @@ fn guard_thrash_invalidates_and_recovers() {
             }
             RunOutcome::Sample(s) => sys.on_sample(&s),
             RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::OsrRequest(_) => unreachable!("osr disabled"),
         }
     }
     let ev = sys.recovery_events();

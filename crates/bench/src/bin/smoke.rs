@@ -7,7 +7,9 @@ use std::time::Instant;
 ///
 /// Set `AOCI_FAULTS=<seed>` to enable the everything-on fault-injection
 /// profile ([`FaultConfig::chaos`]) with that seed: every run must still
-/// complete, and the per-run line gains the recovery-event counts.
+/// complete, and the per-run line gains the recovery-event counts. Set
+/// `AOCI_OSR=1` to enable on-stack replacement; the per-run line then
+/// gains the OSR request/entry/exit counts.
 fn main() {
     let faults: Option<u64> = match std::env::var("AOCI_FAULTS") {
         Ok(s) if s.trim().is_empty() => None,
@@ -20,11 +22,12 @@ fn main() {
         },
         Err(_) => None,
     };
+    let osr = aoci_bench::metrics::osr_enabled();
     for spec in suite() {
         let w = build(&spec);
         for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
             let t = Instant::now();
-            let mut config = AosConfig::new(policy);
+            let mut config = if osr { AosConfig::with_osr(policy) } else { AosConfig::new(policy) };
             config.fault = faults.map(FaultConfig::chaos);
             let report = AosSystem::new(&w.program, config).run().expect("runs");
             print!(
@@ -42,6 +45,12 @@ fn main() {
                 report.fraction(aoci_vm::Component::CompilationThread) * 100.0,
                 report.fraction(aoci_vm::Component::Listeners) * 100.0,
             );
+            if osr {
+                print!(
+                    " | osr: requests={} denied={} entries={} exits={}",
+                    report.osr.requests, report.osr.denied, report.osr.entries, report.osr.exits,
+                );
+            }
             if faults.is_some() {
                 let ev = report.recovery;
                 print!(
@@ -61,5 +70,8 @@ fn main() {
     }
     if faults.is_some() {
         println!("fault-injected smoke complete: every run degraded gracefully");
+    }
+    if osr {
+        println!("osr smoke complete: every run finished with OSR enabled");
     }
 }

@@ -159,6 +159,10 @@ mod tests {
             stats_large_at_or_beyond_4: 0.0,
             methods_compiled: 0,
             result: None,
+            osr_requests: 0.0,
+            osr_denied: 0.0,
+            osr_entries: 0.0,
+            osr_exits: 0.0,
             recovery_invalidations: 0.0,
             recovery_retries: 0.0,
             recovery_quarantined: 0.0,

@@ -80,6 +80,14 @@ pub struct RunMetrics {
     pub methods_compiled: u32,
     /// Program return value (sanity: must agree across policies).
     pub result: Option<i64>,
+    /// Mean OSR promotion requests raised by hot back-edges.
+    pub osr_requests: f64,
+    /// Mean OSR requests the driver denied (quarantine/budget/refused map).
+    pub osr_denied: f64,
+    /// Mean OSR-in transfers (baseline activation promoted mid-loop).
+    pub osr_entries: f64,
+    /// Mean OSR-out transfers (optimized activation deoptimized mid-loop).
+    pub osr_exits: f64,
     /// Mean compiled-code invalidations (guard-thrash recovery).
     pub recovery_invalidations: f64,
     /// Mean compile retries after injected/organic compile failures.
@@ -98,11 +106,21 @@ pub fn reps() -> usize {
         .unwrap_or(3)
 }
 
+/// `true` when the sweep should run with OSR enabled (`AOCI_OSR=1`); the
+/// default (off) matches the paper's non-OSR AOS — see DESIGN.md §7.
+pub fn osr_enabled() -> bool {
+    std::env::var("AOCI_OSR").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
+}
+
 /// Builds the AOS configuration for one repetition: repetitions perturb the
 /// sampling period slightly, emulating the timer non-determinism the paper
 /// handles with a best-of-20 protocol.
 pub fn run_config(policy: PolicyKind, rep: usize) -> AosConfig {
-    let mut config = AosConfig::new(policy);
+    let mut config = if osr_enabled() {
+        AosConfig::with_osr(policy)
+    } else {
+        AosConfig::new(policy)
+    };
     config.cost.sample_period += (rep as u64) * 37;
     config
 }
@@ -130,6 +148,10 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
     let mut retries = 0.0;
     let mut quarantined = 0.0;
     let mut rejected_traces = 0.0;
+    let mut osr_requests = 0.0;
+    let mut osr_denied = 0.0;
+    let mut osr_entries = 0.0;
+    let mut osr_exits = 0.0;
     for rep in 0..n {
         let report = AosSystem::new(&w.program, run_config(policy, rep))
             .run()
@@ -152,6 +174,10 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
         retries += report.recovery.compile_retries as f64;
         quarantined += report.recovery.quarantined_methods as f64;
         rejected_traces += report.recovery.rejected_traces as f64;
+        osr_requests += report.osr.requests as f64;
+        osr_denied += report.osr.denied as f64;
+        osr_entries += report.osr.entries as f64;
+        osr_exits += report.osr.exits as f64;
         if first_stats.is_none() {
             first_stats = Some(report.trace_stats);
             methods_compiled = report.baseline_compilations;
@@ -185,6 +211,10 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
         stats_large_at_or_beyond_4: stats.large_at_or_beyond_4,
         methods_compiled,
         result,
+        osr_requests: osr_requests * inv,
+        osr_denied: osr_denied * inv,
+        osr_entries: osr_entries * inv,
+        osr_exits: osr_exits * inv,
         recovery_invalidations: invalidations * inv,
         recovery_retries: retries * inv,
         recovery_quarantined: quarantined * inv,
@@ -231,6 +261,10 @@ impl RunMetrics {
                 "result".to_string(),
                 self.result.map_or(Value::Null, Value::from),
             ),
+            ("osr_requests".to_string(), Value::from(self.osr_requests)),
+            ("osr_denied".to_string(), Value::from(self.osr_denied)),
+            ("osr_entries".to_string(), Value::from(self.osr_entries)),
+            ("osr_exits".to_string(), Value::from(self.osr_exits)),
             ("recovery_invalidations".to_string(), Value::from(self.recovery_invalidations)),
             ("recovery_retries".to_string(), Value::from(self.recovery_retries)),
             ("recovery_quarantined".to_string(), Value::from(self.recovery_quarantined)),
@@ -273,6 +307,10 @@ impl RunMetrics {
                 None | Some(Value::Null) => None,
                 Some(r) => Some(r.as_i64()?),
             },
+            osr_requests: f("osr_requests").unwrap_or(0.0),
+            osr_denied: f("osr_denied").unwrap_or(0.0),
+            osr_entries: f("osr_entries").unwrap_or(0.0),
+            osr_exits: f("osr_exits").unwrap_or(0.0),
             recovery_invalidations: f("recovery_invalidations").unwrap_or(0.0),
             recovery_retries: f("recovery_retries").unwrap_or(0.0),
             recovery_quarantined: f("recovery_quarantined").unwrap_or(0.0),
@@ -344,6 +382,10 @@ mod tests {
             stats_large_at_or_beyond_4: 0.0,
             methods_compiled: 0,
             result: None,
+            osr_requests: 0.0,
+            osr_denied: 0.0,
+            osr_entries: 0.0,
+            osr_exits: 0.0,
             recovery_invalidations: 0.0,
             recovery_retries: 0.0,
             recovery_quarantined: 0.0,

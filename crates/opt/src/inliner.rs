@@ -8,7 +8,8 @@ use aoci_core::InlineOracle;
 use aoci_ir::{
     size, CallSiteRef, Instr, MethodId, Program, Reg, SiteIdx, SizeClass,
 };
-use aoci_vm::{InlineMap, InlineNode, MethodVersion, OptLevel};
+use aoci_vm::{InlineMap, InlineNode, MethodVersion, OptLevel, OsrMap, OsrPoint};
+use std::collections::HashSet;
 
 /// Compiles `method` at the optimizing level, performing profile-directed,
 /// context-sensitive inlining as directed by `oracle`.
@@ -23,6 +24,25 @@ pub fn compile(
     config: &OptConfig,
 ) -> Compilation {
     let root_def = program.method(method);
+    // Loop headers of the *root* source body: targets of its backward
+    // jumps/branches. Each one that survives optimization becomes an OSR
+    // point, so a long-running activation can transfer in or out mid-loop.
+    let mut headers: Vec<u32> = root_def
+        .body()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, instr)| match instr {
+            Instr::Jump { target } | Instr::Branch { target, .. }
+                if *target as usize <= i =>
+            {
+                Some(*target)
+            }
+            _ => None,
+        })
+        .collect();
+    headers.sort_unstable();
+    headers.dedup();
+
     let mut e = Emitter {
         program,
         oracle,
@@ -35,18 +55,36 @@ pub fn compile(
         emitted_size: 0,
         refusals: Vec::new(),
         decisions: Vec::new(),
+        root_map: Vec::new(),
     };
     let mut stack = vec![method];
     e.emit_body(method, 0, 0, RetMode::Root, &[], 0, &mut stack);
     debug_assert_eq!(stack, vec![method]);
 
-    let Emitter { out, instr_nodes, mut nodes, next_reg, refusals, decisions, .. } = e;
+    let Emitter { out, instr_nodes, mut nodes, next_reg, refusals, decisions, root_map, .. } = e;
     let num_regs = u16::try_from(next_reg).expect("register budget enforced during emission");
+    // OSR anchors: (source pc, emitted pc) per root loop header. The
+    // simplifier remaps the emitted side alongside branch targets and
+    // drops anchors whose header stops being a control-flow leader.
+    let mut anchors: Vec<(u32, u32)> =
+        headers.iter().map(|&h| (h, root_map[h as usize])).collect();
     let (body, instr_nodes) = if config.simplify {
-        simplify::simplify(out, instr_nodes, &mut nodes, num_regs)
+        simplify::simplify_with_anchors(out, instr_nodes, &mut nodes, num_regs, &mut anchors)
     } else {
         (out, instr_nodes)
     };
+    // The frame mapping at every anchor is the identity over the root
+    // register window: emission never renames root registers (inlined
+    // callees live in windows above them) and simplification rewrites
+    // uses, never definitions.
+    let mut seen_opt = HashSet::new();
+    let points: Vec<OsrPoint> = anchors
+        .into_iter()
+        .filter(|&(_, opt_pc)| seen_opt.insert(opt_pc))
+        .map(|(src_pc, opt_pc)| OsrPoint::identity(src_pc, opt_pc, root_def.num_regs()))
+        .collect();
+    let osr_map = OsrMap::new(points).expect("anchors are unique on both sides");
+    debug_assert!(osr_map.validate(root_def.num_regs(), num_regs).is_ok());
     let generated_size = size::body_size(&body);
     let version = MethodVersion {
         method,
@@ -56,6 +94,7 @@ pub fn compile(
         code_size: generated_size,
         body,
         version_id: 0,
+        osr_map,
     };
     Compilation { version, decisions, refusals, generated_size }
 }
@@ -80,6 +119,9 @@ struct Emitter<'a> {
     emitted_size: u32,
     refusals: Vec<Refusal>,
     decisions: Vec<InlineDecision>,
+    /// Source-pc → emitted-pc map of the root body (node 0), kept for OSR
+    /// anchor construction.
+    root_map: Vec<u32>,
 }
 
 /// Outcome of a per-callee inlining decision.
@@ -175,6 +217,9 @@ impl<'a> Emitter<'a> {
             let new_target = orig_to_new[orig_target as usize];
             debug_assert_ne!(new_target, u32::MAX);
             self.out[at].map_branch_target(|_| new_target);
+        }
+        if node == 0 {
+            self.root_map = orig_to_new;
         }
         end_jumps
     }

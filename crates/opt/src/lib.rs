@@ -62,7 +62,7 @@ mod simplify;
 pub use config::OptConfig;
 pub use decision::{Compilation, InlineDecision, Refusal, RefusalReason};
 pub use inliner::compile;
-pub use simplify::simplify;
+pub use simplify::{simplify, simplify_with_anchors};
 
 #[cfg(doc)]
 use aoci_core::InlineOracle;

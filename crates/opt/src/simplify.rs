@@ -21,20 +21,40 @@ use std::collections::HashSet;
 /// Iterates folding + elimination to a fixpoint (bounded small number of
 /// rounds).
 pub fn simplify(
+    body: Vec<Instr>,
+    instr_node: Vec<u32>,
+    nodes: &mut [InlineNode],
+    num_regs: u16,
+) -> (Vec<Instr>, Vec<u32>) {
+    simplify_with_anchors(body, instr_node, nodes, num_regs, &mut Vec::new())
+}
+
+/// [`simplify`], additionally carrying OSR anchors — `(source_pc, opt_pc)`
+/// pairs naming root loop headers — through the pass: each elimination
+/// round remaps the `opt_pc` side exactly as it remaps branch targets, and
+/// anchors whose header does not survive as a control-flow leader of the
+/// final body are dropped (transferring a frame into the middle of a
+/// straight-line region would void the facts the scan propagated across
+/// it; leaders are where the lattice resets, so they are the only sound
+/// entry points).
+pub fn simplify_with_anchors(
     mut body: Vec<Instr>,
     mut instr_node: Vec<u32>,
     nodes: &mut [InlineNode],
     num_regs: u16,
+    osr_anchors: &mut Vec<(u32, u32)>,
 ) -> (Vec<Instr>, Vec<u32>) {
     for _ in 0..4 {
         let folded = fold_and_propagate(&mut body, num_regs);
-        let (nb, ni, eliminated) = eliminate(body, instr_node, nodes);
+        let (nb, ni, eliminated) = eliminate(body, instr_node, nodes, osr_anchors);
         body = nb;
         instr_node = ni;
         if !folded && !eliminated {
             break;
         }
     }
+    let leaders: HashSet<u32> = body.iter().filter_map(Instr::branch_target).collect();
+    osr_anchors.retain(|&(_, opt_pc)| leaders.contains(&opt_pc));
     (body, instr_node)
 }
 
@@ -282,6 +302,7 @@ fn eliminate(
     body: Vec<Instr>,
     instr_node: Vec<u32>,
     nodes: &mut [InlineNode],
+    osr_anchors: &mut [(u32, u32)],
 ) -> (Vec<Instr>, Vec<u32>, bool) {
     let n = body.len();
     if n == 0 {
@@ -393,6 +414,9 @@ fn eliminate(
     }
     for node in nodes.iter_mut() {
         node.body_start = new_index[(node.body_start as usize).min(n)];
+    }
+    for (_, opt_pc) in osr_anchors.iter_mut() {
+        *opt_pc = new_index[(*opt_pc as usize).min(n)];
     }
     (new_body, new_nodes_map, true)
 }

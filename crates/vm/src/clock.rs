@@ -37,6 +37,12 @@ pub enum Component {
     /// bar — the paper's system has no fault model — but charged like any
     /// other AOS component so degradation shows up in the cost breakdown.
     Recovery,
+    /// On-stack replacement transitions: frame-state mapping for OSR-in
+    /// (hot-loop promotion into optimized code) and OSR-out
+    /// (deoptimization back to baseline). Not a Figure 6 bar — the
+    /// paper's system switches versions only at invocations — but charged
+    /// like any other AOS component so the transfer cost is visible.
+    Osr,
     /// Application code running in baseline-compiled methods.
     AppBaseline,
     /// Application code running in optimized methods.
@@ -46,7 +52,7 @@ pub enum Component {
 }
 
 /// All components, in a fixed order usable for dense tables.
-pub const COMPONENTS: [Component; 11] = [
+pub const COMPONENTS: [Component; 12] = [
     Component::Listeners,
     Component::CompilationThread,
     Component::DecayOrganizer,
@@ -55,6 +61,7 @@ pub const COMPONENTS: [Component; 11] = [
     Component::ControllerThread,
     Component::MissingEdgeOrganizer,
     Component::Recovery,
+    Component::Osr,
     Component::AppBaseline,
     Component::AppOptimized,
     Component::BaselineCompilation,
@@ -89,6 +96,7 @@ impl fmt::Display for Component {
             Component::ControllerThread => "ControllerThread",
             Component::MissingEdgeOrganizer => "MissingEdgeOrganizer",
             Component::Recovery => "Recovery",
+            Component::Osr => "OSR",
             Component::AppBaseline => "App(baseline)",
             Component::AppOptimized => "App(optimized)",
             Component::BaselineCompilation => "BaselineCompilation",

@@ -10,6 +10,7 @@
 //! avoid recording misleading samples like `A ⇒ C` when profile data exists
 //! for `A ⇒ B ⇒ C`.
 
+use crate::osr::OsrMap;
 use aoci_ir::{Instr, MethodId, SiteIdx};
 
 /// Compilation level of a method version.
@@ -201,6 +202,10 @@ pub struct MethodVersion {
     pub code_size: u32,
     /// Monotone install counter distinguishing recompilations.
     pub version_id: u32,
+    /// OSR anchors: per surviving root loop header, the frame mapping
+    /// between a baseline frame and this version's frame. Empty for
+    /// baseline code and for optimized code without root loops.
+    pub osr_map: OsrMap,
 }
 
 impl MethodVersion {
@@ -214,6 +219,7 @@ impl MethodVersion {
             inline_map: InlineMap::baseline(def.id(), def.body().len()),
             code_size: def.size_estimate(),
             version_id: 0,
+            osr_map: OsrMap::empty(),
         }
     }
 }

@@ -43,6 +43,11 @@ pub struct CostModel {
     pub listener_base_cost: u64,
     /// Listener cycles per walked stack frame.
     pub listener_per_frame: u64,
+    /// Fixed cycles per on-stack-replacement transition (either
+    /// direction): locating the OSR point and setting up the new frame.
+    pub osr_transition_cost: u64,
+    /// Additional OSR cycles per frame slot the mapping transfers.
+    pub osr_per_slot_cost: u64,
 }
 
 impl Default for CostModel {
@@ -60,6 +65,8 @@ impl Default for CostModel {
             sample_period: 40_000,
             listener_base_cost: 40,
             listener_per_frame: 12,
+            osr_transition_cost: 120,
+            osr_per_slot_cost: 2,
         }
     }
 }
@@ -104,6 +111,12 @@ impl CostModel {
     /// `frames` stack frames.
     pub fn sample_cost(&self, frames: usize) -> u64 {
         self.listener_base_cost + self.listener_per_frame * frames as u64
+    }
+
+    /// Cycles charged to the OSR component for one on-stack-replacement
+    /// transition whose frame mapping transferred `slots` slots.
+    pub fn osr_transfer_cost(&self, slots: usize) -> u64 {
+        self.osr_transition_cost + self.osr_per_slot_cost * slots as u64
     }
 }
 
@@ -171,6 +184,17 @@ mod tests {
         assert_eq!(m.instr_cost(&new, OptLevel::Optimized), m.alloc_cost);
         let arr = Instr::ArrNew { dst: Reg(0), len: Reg(1) };
         assert_eq!(m.instr_cost(&arr, OptLevel::Optimized), m.alloc_cost);
+    }
+
+    #[test]
+    fn osr_transfer_cost_scales_with_slots() {
+        let m = CostModel::default();
+        assert_eq!(m.osr_transfer_cost(0), m.osr_transition_cost);
+        assert!(m.osr_transfer_cost(16) > m.osr_transfer_cost(4));
+        assert_eq!(
+            m.osr_transfer_cost(5),
+            m.osr_transition_cost + 5 * m.osr_per_slot_cost
+        );
     }
 
     #[test]

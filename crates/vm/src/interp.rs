@@ -10,6 +10,7 @@ use crate::registry::CodeRegistry;
 use crate::stack::{SourceFrame, StackSnapshot};
 use crate::value::Value;
 use aoci_ir::{BinOp, Cond, Instr, MethodId, Program, Reg};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Interpreter configuration.
@@ -27,6 +28,25 @@ pub struct VmConfig {
     pub max_walk_frames: usize,
     /// Maximum machine call-stack depth before [`VmError::StackOverflow`].
     pub max_stack_depth: usize,
+    /// Enables on-stack replacement. Off by default: the paper's system
+    /// switches code versions only at invocation boundaries, so the
+    /// reproduction sweeps opt in explicitly. When off, the VM neither
+    /// counts loop back-edges nor deoptimizes in-flight activations, and
+    /// behaves bit-identically to a VM built before OSR existed.
+    pub osr_enabled: bool,
+    /// Taken loop back-edges a *baseline* activation executes at one loop
+    /// header before the VM yields [`RunOutcome::OsrRequest`], asking the
+    /// driver for a promotion (OSR-in).
+    pub osr_backedge_threshold: u32,
+    /// Minimum guards an *optimized* activation must execute before its
+    /// own miss rate can arm deoptimization (mirrors the recovery layer's
+    /// window minimum, but frame-local: a single long-running activation
+    /// thrashing its guards arms OSR-out without waiting for the method-
+    /// level health monitor).
+    pub osr_exit_min_checks: u64,
+    /// Frame-local guard-miss rate above which an optimized activation
+    /// arms deoptimization and OSR-outs at its next loop header.
+    pub osr_exit_miss_threshold: f64,
 }
 
 impl Default for VmConfig {
@@ -36,8 +56,23 @@ impl Default for VmConfig {
             prologue_window: 3,
             max_walk_frames: 64,
             max_stack_depth: 4096,
+            osr_enabled: false,
+            osr_backedge_threshold: 256,
+            osr_exit_min_checks: 48,
+            osr_exit_miss_threshold: 0.9,
         }
     }
+}
+
+/// A baseline activation tripped its loop back-edge counter and wants to
+/// be promoted into optimized code mid-loop (OSR-in).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OsrRequest {
+    /// The method whose baseline activation is hot.
+    pub method: MethodId,
+    /// The loop header (source pc) the activation is parked on; the
+    /// promotion target must carry an OSR entry point for this header.
+    pub loop_header: u32,
 }
 
 /// Why [`Vm::run`] returned.
@@ -51,6 +86,12 @@ pub enum RunOutcome {
     /// The cycle budget passed to [`Vm::run`] was exhausted before a sample
     /// or completion; execution can be resumed.
     BudgetExhausted,
+    /// A hot baseline loop wants promotion (only with
+    /// [`VmConfig::osr_enabled`]). The driver may compile the method and
+    /// transfer the activation via [`Vm::osr_enter`], or ignore the
+    /// request; either way, call [`Vm::run`] again to continue. The top
+    /// frame is parked exactly on the requested loop header.
+    OsrRequest(OsrRequest),
 }
 
 /// Per-method guard counters, attributed to the *compiled host method*
@@ -79,6 +120,12 @@ pub struct ExecCounters {
     pub guard_checks: u64,
     /// Inline guards that failed into the fallback path.
     pub guard_misses: u64,
+    /// OSR-in transitions performed: baseline activations promoted into
+    /// optimized code mid-loop.
+    pub osr_entries: u64,
+    /// OSR-out transitions performed: optimized activations deoptimized
+    /// back to baseline frames mid-loop.
+    pub osr_exits: u64,
 }
 
 #[derive(Debug)]
@@ -88,6 +135,28 @@ struct Frame {
     regs: Vec<Value>,
     /// Where the caller wants the return value.
     ret_dst: Option<Reg>,
+    /// Guards this activation executed (optimized frames under OSR; used
+    /// for the frame-local thrash detector, not the method-level stats).
+    guard_checks: u64,
+    /// Of which missed into the fallback path.
+    guard_misses: u64,
+    /// Set once this activation should deoptimize at its next OSR exit
+    /// point (its version was invalidated, or its own guards thrash).
+    deopt_armed: bool,
+}
+
+impl Frame {
+    fn new(version: Arc<MethodVersion>, pc: usize, regs: Vec<Value>, ret_dst: Option<Reg>) -> Self {
+        Frame {
+            version,
+            pc,
+            regs,
+            ret_dst,
+            guard_checks: 0,
+            guard_misses: 0,
+            deopt_armed: false,
+        }
+    }
 }
 
 /// The virtual machine: interpreter, heap, globals, compiled-code registry
@@ -113,6 +182,21 @@ pub struct Vm<'p> {
     started: bool,
     counters: ExecCounters,
     guard_stats: Vec<MethodGuardStats>,
+    /// Taken back-edge counts of *baseline* activations, per (method,
+    /// loop-header) pair; reset when the OSR-in threshold fires.
+    backedge_counts: HashMap<(MethodId, u32), u32>,
+    /// A promotion request raised by the last [`Vm::step`], delivered at
+    /// the top of the run loop.
+    pending_osr: Option<OsrRequest>,
+    /// Methods the driver told us to stop raising promotion requests for
+    /// (quarantined or past their recompile budget).
+    osr_suppressed: HashSet<MethodId>,
+    /// Deoptimization targets built outside the registry: when an
+    /// activation OSR-outs while the registry slot still holds optimized
+    /// code (frame-local thrash without method-level invalidation), the
+    /// baseline version it falls back to is cached here rather than
+    /// clobbering the installed code.
+    deopt_baseline: HashMap<MethodId, Arc<MethodVersion>>,
 }
 
 impl<'p> Vm<'p> {
@@ -137,6 +221,10 @@ impl<'p> Vm<'p> {
             started: false,
             counters: ExecCounters::default(),
             guard_stats: vec![MethodGuardStats::default(); program.num_methods()],
+            backedge_counts: HashMap::new(),
+            pending_osr: None,
+            osr_suppressed: HashSet::new(),
+            deopt_baseline: HashMap::new(),
         }
     }
 
@@ -226,6 +314,9 @@ impl<'p> Vm<'p> {
                 return Ok(RunOutcome::BudgetExhausted);
             }
             self.step()?;
+            if let Some(req) = self.pending_osr.take() {
+                return Ok(RunOutcome::OsrRequest(req));
+            }
             if let Some(due) = self.next_sample_at {
                 if self.clock.total() >= due && self.finished.is_none() {
                     self.next_sample_at = Some(self.clock.total() + self.cost.sample_period);
@@ -245,7 +336,9 @@ impl<'p> Vm<'p> {
         loop {
             match self.run(u64::MAX)? {
                 RunOutcome::Finished(v) => return Ok(v),
-                RunOutcome::Sample(_) | RunOutcome::BudgetExhausted => continue,
+                RunOutcome::Sample(_)
+                | RunOutcome::BudgetExhausted
+                | RunOutcome::OsrRequest(_) => continue,
             }
         }
     }
@@ -333,7 +426,7 @@ impl<'p> Vm<'p> {
             });
         }
         regs[..args.len()].copy_from_slice(&args);
-        self.stack.push(Frame { version, pc: 0, regs, ret_dst });
+        self.stack.push(Frame::new(version, 0, regs, ret_dst));
         Ok(())
     }
 
@@ -503,6 +596,7 @@ impl<'p> Vm<'p> {
                     self.guard_stats[method.index()].misses += 1;
                     next_pc = else_target as usize;
                 }
+                self.note_guard(pass);
             }
             Instr::GuardMethod { recv, selector, target, else_target } => {
                 let pass = match self.reg(recv)? {
@@ -520,6 +614,7 @@ impl<'p> Vm<'p> {
                     self.guard_stats[method.index()].misses += 1;
                     next_pc = else_target as usize;
                 }
+                self.note_guard(pass);
             }
             Instr::CallStatic { dst, callee, args, .. } => {
                 self.counters.calls += 1;
@@ -586,11 +681,179 @@ impl<'p> Vm<'p> {
                 return Ok(());
             }
         }
+        // Taken backward control flow = a loop back-edge: the OSR hook in
+        // both directions. (Only `Jump`/`Branch` can move the pc backward;
+        // guard else-targets always point forward.)
+        if self.config.osr_enabled && next_pc <= pc {
+            match version.level {
+                OptLevel::Baseline => self.count_backedge(method, next_pc as u32),
+                OptLevel::Optimized => {
+                    let invalidated = self.registry.is_invalidated(version.version_id);
+                    let armed = self.stack.last().is_some_and(|f| f.deopt_armed);
+                    if (invalidated || armed)
+                        && version.osr_map.exit_at_opt(next_pc as u32).is_some()
+                    {
+                        return self.osr_exit(&version, next_pc as u32);
+                    }
+                }
+            }
+        }
         self.stack
             .last_mut()
             .ok_or(VmError::NoActiveFrame { context: "advancing the program counter" })?
             .pc = next_pc;
         Ok(())
+    }
+
+    /// Frame-local guard bookkeeping for the OSR-out thrash detector.
+    fn note_guard(&mut self, pass: bool) {
+        if !self.config.osr_enabled {
+            return;
+        }
+        let min_checks = self.config.osr_exit_min_checks;
+        let threshold = self.config.osr_exit_miss_threshold;
+        if let Some(f) = self.stack.last_mut() {
+            if f.version.level != OptLevel::Optimized {
+                return;
+            }
+            f.guard_checks += 1;
+            if !pass {
+                f.guard_misses += 1;
+            }
+            if !f.deopt_armed
+                && f.guard_checks >= min_checks
+                && f.guard_misses as f64 / f.guard_checks as f64 > threshold
+            {
+                f.deopt_armed = true;
+            }
+        }
+    }
+
+    /// Counts a taken back-edge of a baseline activation; at the
+    /// threshold, raises an [`OsrRequest`] for the driver.
+    fn count_backedge(&mut self, method: MethodId, header: u32) {
+        if self.osr_suppressed.contains(&method) {
+            return;
+        }
+        let count = self.backedge_counts.entry((method, header)).or_insert(0);
+        *count += 1;
+        if *count >= self.config.osr_backedge_threshold {
+            *count = 0;
+            self.pending_osr = Some(OsrRequest { method, loop_header: header });
+        }
+    }
+
+    /// The baseline version an OSR-out lands in. Prefers the installed
+    /// version when it is already baseline; compiles (and, if the slot is
+    /// empty, installs) one otherwise. An installed *optimized* version is
+    /// never clobbered — the frame-local thrash path deoptimizes one
+    /// activation, not the method — so the compiled fallback is cached on
+    /// the side for reuse.
+    fn deopt_target(&mut self, method: MethodId) -> Arc<MethodVersion> {
+        match self.registry.current(method) {
+            Some(v) if v.level == OptLevel::Baseline => return Arc::clone(v),
+            Some(_) => {}
+            None => {
+                let def = self.program.method(method);
+                self.clock.charge(
+                    Component::BaselineCompilation,
+                    self.cost.baseline_compile_cost(def.size_estimate()),
+                );
+                return self.registry.install_baseline(def);
+            }
+        }
+        if let Some(v) = self.deopt_baseline.get(&method) {
+            return Arc::clone(v);
+        }
+        let def = self.program.method(method);
+        self.clock.charge(
+            Component::BaselineCompilation,
+            self.cost.baseline_compile_cost(def.size_estimate()),
+        );
+        let v = Arc::new(MethodVersion::baseline(def));
+        self.deopt_baseline.insert(method, Arc::clone(&v));
+        v
+    }
+
+    /// OSR-out: replaces the top (optimized) frame with an equivalent
+    /// baseline frame via the version's [`OsrMap`](crate::OsrMap) exit
+    /// point at `opt_pc`. A mapping failure (corrupt map) refuses the
+    /// transfer and keeps executing the optimized code — degraded, never
+    /// wrong.
+    fn osr_exit(&mut self, version: &Arc<MethodVersion>, opt_pc: u32) -> Result<(), VmError> {
+        let point = version
+            .osr_map
+            .exit_at_opt(opt_pc)
+            .cloned()
+            .ok_or(VmError::PcOutOfRange { method: version.method, pc: opt_pc as usize })?;
+        let baseline = self.deopt_target(version.method);
+        let frame = self
+            .stack
+            .last_mut()
+            .ok_or(VmError::NoActiveFrame { context: "deoptimizing a frame" })?;
+        match point.map_to_baseline(&frame.regs, baseline.num_regs) {
+            Ok(regs) => {
+                frame.version = baseline;
+                frame.pc = point.baseline_pc as usize;
+                frame.regs = regs;
+                frame.guard_checks = 0;
+                frame.guard_misses = 0;
+                frame.deopt_armed = false;
+                self.counters.osr_exits += 1;
+                self.clock
+                    .charge(Component::Osr, self.cost.osr_transfer_cost(point.slots.len()));
+            }
+            Err(_) => {
+                frame.pc = opt_pc as usize;
+            }
+        }
+        Ok(())
+    }
+
+    /// OSR-in: transfers the top frame — a *baseline* activation of
+    /// `version`'s method parked exactly on `loop_header` — into
+    /// `version`'s optimized code through its OSR entry point for that
+    /// header. Returns `true` on transfer; returns `false` (leaving the
+    /// activation untouched, to continue at baseline) when the
+    /// preconditions do not hold or the map refuses — promotion is an
+    /// optimization, never an obligation.
+    pub fn osr_enter(&mut self, version: &Arc<MethodVersion>, loop_header: u32) -> bool {
+        if !self.config.osr_enabled || version.level != OptLevel::Optimized {
+            return false;
+        }
+        let Some(frame) = self.stack.last() else { return false };
+        if frame.version.method != version.method
+            || frame.version.level != OptLevel::Baseline
+            || frame.pc != loop_header as usize
+        {
+            return false;
+        }
+        let Some(point) = version.osr_map.entry_at_baseline(loop_header) else {
+            return false;
+        };
+        let Ok(regs) = point.map_to_optimized(&frame.regs, version.num_regs) else {
+            return false;
+        };
+        let slots = point.slots.len();
+        let opt_pc = point.opt_pc as usize;
+        let frame = self.stack.last_mut().expect("checked above");
+        frame.version = Arc::clone(version);
+        frame.pc = opt_pc;
+        frame.regs = regs;
+        frame.guard_checks = 0;
+        frame.guard_misses = 0;
+        frame.deopt_armed = false;
+        self.counters.osr_entries += 1;
+        self.clock.charge(Component::Osr, self.cost.osr_transfer_cost(slots));
+        self.backedge_counts.remove(&(version.method, loop_header));
+        true
+    }
+
+    /// Stops the VM from raising further [`RunOutcome::OsrRequest`]s for
+    /// `method` (the driver's answer when the method is quarantined or out
+    /// of recompile budget).
+    pub fn suppress_osr(&mut self, method: MethodId) {
+        self.osr_suppressed.insert(method);
     }
 
     fn reg(&self, r: Reg) -> Result<Value, VmError> {

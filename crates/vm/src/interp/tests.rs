@@ -335,7 +335,7 @@ fn samples_fire_periodically() {
                 assert_eq!(s.root_method, main);
             }
             RunOutcome::Finished(_) => break,
-            RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::BudgetExhausted | RunOutcome::OsrRequest(_) => unreachable!(),
         }
     }
     // ~10_000 cycles of work at period 1000 (+ compile time) → around 10.
@@ -363,7 +363,7 @@ fn budget_exhaustion_is_resumable() {
         match vm.run(500).expect("ok") {
             RunOutcome::BudgetExhausted => exhausted += 1,
             RunOutcome::Finished(v) => break v,
-            RunOutcome::Sample(_) => unreachable!("sampling disabled"),
+            RunOutcome::Sample(_) | RunOutcome::OsrRequest(_) => unreachable!("sampling disabled"),
         }
     };
     assert!(exhausted > 1);
@@ -399,7 +399,7 @@ fn snapshot_reports_call_chain_and_prologue() {
             RunOutcome::Sample(s) if s.top_method() == Some(leaf) => break s,
             RunOutcome::Sample(_) => continue,
             RunOutcome::Finished(_) => panic!("expected a sample in leaf"),
-            RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::BudgetExhausted | RunOutcome::OsrRequest(_) => unreachable!(),
         }
     };
     let methods: Vec<_> = snap.frames.iter().map(|f| f.method).collect();
@@ -458,6 +458,7 @@ fn optimized_code_with_inline_map_recovers_source_frames() {
         inline_map: map.finish(),
         code_size: 50_003,
         version_id: 0,
+        osr_map: crate::OsrMap::empty(),
     };
 
     let cost = CostModel { sample_period: 10_000, ..CostModel::default() };
@@ -478,7 +479,7 @@ fn optimized_code_with_inline_map_recovers_source_frames() {
                 }
             }
             RunOutcome::Finished(v) => break v,
-            RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::BudgetExhausted | RunOutcome::OsrRequest(_) => unreachable!(),
         }
     };
     assert_eq!(result.and_then(Value::as_int), Some(3));
@@ -518,6 +519,7 @@ fn naive_walk_hides_inlined_frames() {
         inline_map: map.finish(),
         code_size: 50_001,
         version_id: 0,
+        osr_map: crate::OsrMap::empty(),
     };
 
     let cost = CostModel { sample_period: 10_000, ..CostModel::default() };
@@ -533,7 +535,7 @@ fn naive_walk_hides_inlined_frames() {
                 assert_eq!(s.top_method(), Some(outer));
             }
             RunOutcome::Finished(_) => break,
-            RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::BudgetExhausted | RunOutcome::OsrRequest(_) => unreachable!(),
         }
     }
     assert!(samples > 0);
@@ -624,6 +626,7 @@ fn guard_class_dispatches_inline_vs_fallback() {
         inline_map: map.finish(),
         code_size: 20,
         version_id: 0,
+        osr_map: crate::OsrMap::empty(),
     };
 
     let cost = CostModel { sample_period: 0, ..CostModel::default() };
@@ -677,7 +680,7 @@ fn deep_recursion_snapshot_truncates_at_max_walk() {
                 }
             }
             RunOutcome::Finished(_) => break,
-            RunOutcome::BudgetExhausted => unreachable!(),
+            RunOutcome::BudgetExhausted | RunOutcome::OsrRequest(_) => unreachable!(),
         }
     }
     assert!(saw_truncated, "the 51-deep stack should hit the 8-frame cap");

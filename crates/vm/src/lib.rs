@@ -54,6 +54,7 @@ mod cost;
 mod error;
 mod heap;
 mod interp;
+mod osr;
 mod registry;
 mod stack;
 mod value;
@@ -63,7 +64,8 @@ pub use code::{InlineMap, InlineMapBuilder, InlineNode, MethodVersion, OptLevel}
 pub use cost::CostModel;
 pub use error::VmError;
 pub use heap::{Heap, ObjRef};
-pub use interp::{ExecCounters, MethodGuardStats, RunOutcome, Vm, VmConfig};
+pub use interp::{ExecCounters, MethodGuardStats, OsrRequest, RunOutcome, Vm, VmConfig};
+pub use osr::{OsrError, OsrMap, OsrPoint, OsrSlot};
 pub use registry::CodeRegistry;
 pub use stack::{SourceFrame, StackSnapshot};
 pub use value::Value;

@@ -3,6 +3,7 @@
 
 use crate::code::{MethodVersion, OptLevel};
 use aoci_ir::MethodId;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Tracks the currently-installed [`MethodVersion`] for each method and
@@ -11,7 +12,11 @@ use std::sync::Arc;
 /// Installation follows the Jikes model: a newly compiled version takes
 /// effect at the *next invocation* of the method; activations already on the
 /// stack keep running their old version (each frame holds an `Arc` to the
-/// version it started in).
+/// version it started in) — unless OSR transfers them. With
+/// [`VmConfig::osr_enabled`](crate::VmConfig) a hot baseline activation can
+/// be promoted into a freshly installed version mid-loop (OSR-in), and an
+/// activation stuck on an [invalidated](CodeRegistry::invalidate) version
+/// deoptimizes back to baseline at its next loop header (OSR-out).
 #[derive(Clone, Debug, Default)]
 pub struct CodeRegistry {
     current: Vec<Option<Arc<MethodVersion>>>,
@@ -28,6 +33,11 @@ pub struct CodeRegistry {
     baseline_compilations: u32,
     /// Number of optimized versions invalidated (guard-thrash recovery).
     invalidations: u32,
+    /// `version_id`s of invalidated versions. The interpreter consults
+    /// this at loop back-edges: an in-flight activation still running an
+    /// invalidated version OSR-outs to baseline at its next loop header
+    /// instead of finishing on stale code.
+    invalidated_ids: HashSet<u32>,
 }
 
 impl CodeRegistry {
@@ -78,20 +88,31 @@ impl CodeRegistry {
     /// Invalidates the current *optimized* version of `method`: the slot is
     /// cleared, so the method falls back to (re-)baseline compilation at its
     /// next invocation — the graceful-degradation path for guard-thrashing
-    /// code. Activations already on the stack keep their `Arc` and finish in
-    /// the old version (no OSR). Returns `false` (and does nothing) when the
-    /// method has no optimized version installed.
+    /// code. Activations already on the stack keep their `Arc`; the
+    /// version's id is recorded as invalidated, and when OSR is enabled
+    /// ([`VmConfig::osr_enabled`](crate::VmConfig)) the interpreter
+    /// transfers such an activation back to an equivalent baseline frame
+    /// at its next loop header (OSR-out) rather than letting it finish on
+    /// the stale code. Returns `false` (and does nothing) when the method
+    /// has no optimized version installed.
     pub fn invalidate(&mut self, method: MethodId) -> bool {
         let slot = &mut self.current[method.index()];
         match slot.as_ref() {
             Some(v) if v.level == OptLevel::Optimized => {
                 self.current_optimized_size -= v.code_size as u64;
                 self.invalidations += 1;
+                self.invalidated_ids.insert(v.version_id);
                 *slot = None;
                 true
             }
             _ => false,
         }
+    }
+
+    /// Whether the version with `version_id` has been invalidated — the
+    /// OSR-out trigger for in-flight activations still holding its `Arc`.
+    pub fn is_invalidated(&self, version_id: u32) -> bool {
+        self.invalidated_ids.contains(&version_id)
     }
 
     /// Number of optimized versions invalidated.
@@ -145,6 +166,7 @@ mod tests {
             inline_map: InlineMap::baseline(m, 0),
             code_size: size,
             version_id: 0,
+            osr_map: crate::OsrMap::empty(),
         }
     }
 
@@ -176,9 +198,11 @@ mod tests {
     fn invalidation_clears_slot_and_accounting() {
         let mut r = CodeRegistry::new(2);
         let m0 = MethodId::from_index(0);
-        r.install(version(0, OptLevel::Optimized, 100));
+        let installed = r.install(version(0, OptLevel::Optimized, 100));
         assert_eq!(r.current_optimized_size(), 100);
+        assert!(!r.is_invalidated(installed.version_id));
         assert!(r.invalidate(m0));
+        assert!(r.is_invalidated(installed.version_id), "in-flight frames can see the invalidation");
         assert!(r.current(m0).is_none(), "slot cleared → baseline at next invocation");
         assert_eq!(r.current_optimized_size(), 0);
         // Cumulative size is history, not residency: it stays.

@@ -1,0 +1,176 @@
+//! Differential oracle: every suite workload runs under a baseline-only VM
+//! (the oracle) and under the adaptive system for each inliner policy, with
+//! and without OSR, with and without fault injection. Every configuration
+//! must (a) produce the oracle's program result — optimization, on-stack
+//! replacement and recovery are never allowed to change semantics — and
+//! (b) replay bit-identically: a same-seed rerun reproduces the exact cycle
+//! counts, counters and event tallies, because the whole system runs on a
+//! deterministic simulated clock.
+//!
+//! The fault seed comes from `AOCI_ORACLE_SEED` (default 1), so a CI matrix
+//! can sweep seeds without touching the code.
+
+use aoci_aos::{AosConfig, AosReport, AosSystem, FaultConfig, OsrEvents};
+use aoci_core::PolicyKind;
+use aoci_vm::{CostModel, Value, Vm, COMPONENTS};
+use aoci_workloads::{build, spec_by_name, WorkloadSpec};
+
+fn oracle_seed() -> u64 {
+    std::env::var("AOCI_ORACLE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// A shrunken suite workload: same structure, short run (debug mode), but
+/// long enough for the main loop to cross the OSR back-edge threshold the
+/// configs below use.
+fn small(name: &str) -> WorkloadSpec {
+    let mut spec = spec_by_name(name).expect("suite workload");
+    spec.iterations = 120;
+    spec
+}
+
+/// The baseline-only oracle: a pure interpreter run, no sampling, no
+/// optimization, no OSR — semantics by construction.
+fn oracle_result(program: &aoci_ir::Program) -> Option<Value> {
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    Vm::new(program, cost)
+        .run_to_completion()
+        .expect("oracle run succeeds")
+}
+
+/// One adaptive configuration of the matrix. A prime sample period keeps
+/// the deterministic sampler from aliasing against fixed loop costs, and a
+/// low back-edge threshold lets the short runs exercise promotion.
+fn config(policy: PolicyKind, osr: bool, fault: Option<FaultConfig>) -> AosConfig {
+    let mut c = if osr { AosConfig::with_osr(policy) } else { AosConfig::new(policy) };
+    c.cost = CostModel { sample_period: 2_003, ..CostModel::default() };
+    c.hot_method_samples = 2;
+    c.organizer_period_samples = 4;
+    c.missing_edge_period_samples = 8;
+    c.vm.osr_backedge_threshold = 48;
+    c.recovery.monitor_guard_health = true;
+    c.fault = fault;
+    c
+}
+
+fn run(program: &aoci_ir::Program, c: AosConfig) -> AosReport {
+    AosSystem::new(program, c).run().expect("adaptive run succeeds")
+}
+
+/// Asserts two same-seed runs are bit-identical, field by field.
+fn assert_identical(a: &AosReport, b: &AosReport, what: &str) {
+    assert_eq!(a.result, b.result, "{what}: result diverged between reruns");
+    assert_eq!(a.total_cycles(), b.total_cycles(), "{what}: cycle totals diverged");
+    for c in COMPONENTS {
+        assert_eq!(
+            a.clock.component(c),
+            b.clock.component(c),
+            "{what}: component {c} cycles diverged"
+        );
+    }
+    assert_eq!(a.samples, b.samples, "{what}: sample counts diverged");
+    assert_eq!(a.counters, b.counters, "{what}: exec counters diverged");
+    assert_eq!(a.osr, b.osr, "{what}: OSR events diverged");
+    assert_eq!(a.recovery, b.recovery, "{what}: recovery events diverged");
+    assert_eq!(a.opt_compilations, b.opt_compilations, "{what}: compilations diverged");
+    assert_eq!(a.optimized_code_size, b.optimized_code_size, "{what}: code size diverged");
+    assert_eq!(a.dcg_entries, b.dcg_entries, "{what}: DCG sizes diverged");
+    assert_eq!(a.final_rules, b.final_rules, "{what}: rule counts diverged");
+}
+
+const ALL_POLICIES: [PolicyKind; 3] = [
+    PolicyKind::ContextInsensitive,
+    PolicyKind::Fixed { max: 3 },
+    PolicyKind::AdaptiveResolving { max: 3 },
+];
+
+/// Runs `name` under each policy in `policies`, crossed with ±OSR and
+/// ±fault injection, each twice. The full 3-policy cross on all eight
+/// workloads costs minutes of 1-core wall clock, so only the cheapest
+/// workload gets `ALL_POLICIES`; the rest rotate through single policies
+/// such that the suite as a whole still covers every policy several times.
+fn check_workload(name: &str, policies: &[PolicyKind]) {
+    let seed = oracle_seed();
+    let w = build(&small(name));
+    let expected = oracle_result(&w.program);
+    for &policy in policies {
+        for osr in [false, true] {
+            for fault in [None, Some(FaultConfig::chaos(seed))] {
+                let what = format!(
+                    "{name}/{policy}/osr={osr}/fault={}/seed={seed}",
+                    fault.is_some()
+                );
+                let a = run(&w.program, config(policy, osr, fault.clone()));
+                let b = run(&w.program, config(policy, osr, fault.clone()));
+                assert_eq!(a.result, expected, "{what}: diverged from the oracle");
+                assert_identical(&a, &b, &what);
+                if !osr {
+                    assert_eq!(
+                        a.osr,
+                        OsrEvents::default(),
+                        "{what}: OSR events recorded while disabled"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn oracle_compress() {
+    check_workload("compress", &ALL_POLICIES);
+}
+
+#[test]
+fn oracle_jess() {
+    check_workload("jess", &[PolicyKind::ContextInsensitive]);
+}
+
+#[test]
+fn oracle_db() {
+    check_workload("db", &[PolicyKind::Fixed { max: 3 }]);
+}
+
+#[test]
+fn oracle_javac() {
+    check_workload("javac", &[PolicyKind::AdaptiveResolving { max: 3 }]);
+}
+
+#[test]
+fn oracle_mpegaudio() {
+    check_workload("mpegaudio", &[PolicyKind::ContextInsensitive]);
+}
+
+#[test]
+fn oracle_mtrt() {
+    check_workload("mtrt", &[PolicyKind::Fixed { max: 3 }]);
+}
+
+#[test]
+fn oracle_jack() {
+    check_workload("jack", &[PolicyKind::AdaptiveResolving { max: 3 }]);
+}
+
+#[test]
+fn oracle_jbb() {
+    check_workload("jbb", &[PolicyKind::Fixed { max: 3 }]);
+}
+
+/// The Figure 1 motivating example through the same oracle.
+#[test]
+fn oracle_hashmap_motivation() {
+    let program = aoci_workloads::hashmap_test(600);
+    let expected = oracle_result(&program);
+    let seed = oracle_seed();
+    for osr in [false, true] {
+        for fault in [None, Some(FaultConfig::chaos(seed))] {
+            let what = format!("hashmap/osr={osr}/fault={}", fault.is_some());
+            let a = run(&program, config(PolicyKind::Fixed { max: 3 }, osr, fault.clone()));
+            let b = run(&program, config(PolicyKind::Fixed { max: 3 }, osr, fault.clone()));
+            assert_eq!(a.result, expected, "{what}: diverged from the oracle");
+            assert_identical(&a, &b, &what);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! On-stack replacement integration: hot-loop promotion (OSR-in) must
+//! transfer a running baseline activation into optimized code mid-loop and
+//! save cycles, and a guard-thrashing optimized activation must deoptimize
+//! (OSR-out) *before it returns* — not at its next invocation, which for a
+//! loop-dominated activation may never come.
+
+use aoci_aos::{AosConfig, AosReport, AosSystem, OsrEvents};
+use aoci_core::PolicyKind;
+use aoci_ir::{BinOp, Cond, Program, ProgramBuilder};
+use aoci_vm::{Component, CostModel, Value, Vm};
+
+fn baseline_result(p: &Program) -> Option<Value> {
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    Vm::new(p, cost).run_to_completion().expect("baseline run succeeds")
+}
+
+/// Tightens the sampling/organizer cadences so the adaptive pipeline acts
+/// within a debug-mode-sized run (same knobs the aos crate's own tests use).
+fn fast(mut c: AosConfig) -> AosConfig {
+    // A *prime* period: these tiny programs have a fixed per-iteration
+    // cycle cost, and a period sharing a factor with it makes the
+    // deterministic sampler alias onto one spot in the loop body forever.
+    c.cost = CostModel { sample_period: 3_001, ..CostModel::default() };
+    c.hot_method_samples = 2;
+    c.organizer_period_samples = 4;
+    c.missing_edge_period_samples = 8;
+    c.decay_period_samples = 64;
+    c
+}
+
+fn run(p: &Program, config: AosConfig) -> AosReport {
+    AosSystem::new(p, config).run().expect("aos run succeeds")
+}
+
+/// A loop-dominated `main`: the entry method itself iterates `n` times,
+/// virtually calling `val` on a global receiver that shifts from class A to
+/// class B halfway through. `main` is invoked exactly once, so without OSR
+/// it can never run optimized; the A/B refs it holds in registers across
+/// the whole loop make the frame transfer carry reference-typed locals.
+fn loop_in_main(n: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let sel = b.selector("val", 0);
+    let a = b.class("A", None);
+    let cb = b.class("B", Some(a));
+    {
+        let mut m = b.virtual_method("A.val", a, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 1);
+        m.ret(Some(r));
+        m.finish();
+    }
+    {
+        let mut m = b.virtual_method("B.val", cb, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 2);
+        m.ret(Some(r));
+        m.finish();
+    }
+    let g = b.global("obj");
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let oa = m.fresh_reg();
+        let ob = m.fresh_reg();
+        m.new_obj(oa, a);
+        m.new_obj(ob, cb);
+        m.put_global(g, oa);
+        let i = m.fresh_reg();
+        let nn = m.fresh_reg();
+        let one = m.fresh_reg();
+        let half = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(i, 0);
+        m.const_int(nn, n);
+        m.const_int(one, 1);
+        m.const_int(half, n / 2);
+        m.const_int(acc, 0);
+        let top = m.label();
+        let out = m.label();
+        let skip = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, i, nn, out);
+        m.branch(Cond::Ne, i, half, skip);
+        m.put_global(g, ob);
+        m.bind(skip);
+        m.get_global(o, g);
+        m.call_virtual(Some(r), sel, o, &[]);
+        m.bin(BinOp::Add, acc, acc, r);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(top);
+        m.bind(out);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    b.finish(main).unwrap()
+}
+
+/// Warm-then-thrash: `spin(n)` owns a loop virtually calling `val` on a
+/// global receiver. `main` warms `spin` with receiver A (`warm_calls` short
+/// invocations — enough for it to be optimized with a guarded inline of
+/// `A.val` at an invocation boundary), swaps the global to a B instance,
+/// then makes one long `spin(big_n)` call whose every guard check misses.
+fn warm_then_thrash(warm_calls: i64, warm_n: i64, big_n: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let sel = b.selector("val", 0);
+    let a = b.class("A", None);
+    let cb = b.class("B", Some(a));
+    {
+        let mut m = b.virtual_method("A.val", a, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 1);
+        m.ret(Some(r));
+        m.finish();
+    }
+    {
+        let mut m = b.virtual_method("B.val", cb, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 2);
+        m.ret(Some(r));
+        m.finish();
+    }
+    let g = b.global("obj");
+    let spin = {
+        let mut m = b.static_method("spin", 1);
+        let i = m.fresh_reg();
+        let one = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(i, 0);
+        m.const_int(one, 1);
+        m.const_int(acc, 0);
+        let top = m.label();
+        let out = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, i, m.param(0), out);
+        m.get_global(o, g);
+        m.call_virtual(Some(r), sel, o, &[]);
+        // Self-work inside the loop: without it nearly every timer sample
+        // lands on the expensive call step and is attributed to the callee,
+        // so the hot-methods organizer would never select `spin` itself.
+        m.work(24);
+        m.bin(BinOp::Add, acc, acc, r);
+        m.bin(BinOp::Add, i, i, one);
+        m.jump(top);
+        m.bind(out);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let oa = m.fresh_reg();
+        let ob = m.fresh_reg();
+        m.new_obj(oa, a);
+        m.new_obj(ob, cb);
+        m.put_global(g, oa);
+        let j = m.fresh_reg();
+        let calls = m.fresh_reg();
+        let one = m.fresh_reg();
+        let wn = m.fresh_reg();
+        let bn = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(j, 0);
+        m.const_int(calls, warm_calls);
+        m.const_int(one, 1);
+        m.const_int(wn, warm_n);
+        m.const_int(bn, big_n);
+        m.const_int(acc, 0);
+        let top = m.label();
+        let out = m.label();
+        m.bind(top);
+        m.branch(Cond::Ge, j, calls, out);
+        m.call_static(Some(r), spin, &[wn]);
+        m.bin(BinOp::Add, acc, acc, r);
+        m.bin(BinOp::Add, j, j, one);
+        m.jump(top);
+        m.bind(out);
+        m.put_global(g, ob);
+        m.call_static(Some(r), spin, &[bn]);
+        m.bin(BinOp::Add, acc, acc, r);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    b.finish(main).unwrap()
+}
+
+#[test]
+fn hot_main_loop_is_promoted_and_saves_cycles() {
+    let p = loop_in_main(6_000);
+    let expected = baseline_result(&p);
+
+    let mut with_osr = fast(AosConfig::with_osr(PolicyKind::Fixed { max: 3 }));
+    with_osr.recovery.monitor_guard_health = true;
+    let mut without_osr = fast(AosConfig::new(PolicyKind::Fixed { max: 3 }));
+    without_osr.recovery.monitor_guard_health = true;
+
+    let promoted = run(&p, with_osr);
+    let stuck = run(&p, without_osr);
+
+    assert_eq!(promoted.result, expected, "OSR must not change semantics");
+    assert_eq!(stuck.result, expected);
+    assert!(promoted.osr.requests >= 1, "hot main loop should request promotion");
+    assert!(
+        promoted.osr.entries >= 1,
+        "the single main activation should be promoted mid-loop: {:?}",
+        promoted.osr
+    );
+    assert!(
+        promoted.clock.component(Component::Osr) > 0,
+        "frame transfers are charged to the cost model"
+    );
+    assert_eq!(stuck.osr, OsrEvents::default(), "no OSR activity when disabled");
+    assert!(
+        promoted.total_cycles() < stuck.total_cycles(),
+        "promotion must pay off on a loop-dominated main: {} vs {} cycles",
+        promoted.total_cycles(),
+        stuck.total_cycles()
+    );
+}
+
+#[test]
+fn thrashing_activation_deoptimizes_before_it_returns() {
+    let p = warm_then_thrash(8, 300, 4_000);
+    let expected = baseline_result(&p);
+
+    let mut config = fast(AosConfig::with_osr(PolicyKind::ContextInsensitive));
+    config.recovery.monitor_guard_health = true;
+    // Isolate OSR-out: promotion would need a back-edge count no loop here
+    // reaches, so every transition observed is a deoptimization.
+    config.vm.osr_backedge_threshold = 1_000_000;
+
+    let report = run(&p, config);
+    assert_eq!(report.result, expected, "deoptimization must not change semantics");
+    assert_eq!(report.osr.entries, 0, "promotion was disabled by the huge threshold");
+    // Guards only miss after the receiver swap, and the only post-swap
+    // activation is the single long `spin(big_n)` call — so a recorded exit
+    // necessarily happened inside that activation, before it returned.
+    assert!(
+        report.osr.exits >= 1,
+        "the thrashing activation must deoptimize mid-loop: {:?} (recovery {:?})",
+        report.osr,
+        report.recovery
+    );
+    assert!(report.clock.component(Component::Osr) > 0);
+
+    // The identical run without OSR finishes the stale activation instead.
+    let mut no_osr = fast(AosConfig::new(PolicyKind::ContextInsensitive));
+    no_osr.recovery.monitor_guard_health = true;
+    let stale = run(&p, no_osr);
+    assert_eq!(stale.result, expected);
+    assert_eq!(stale.osr, OsrEvents::default());
+}
+
+#[test]
+fn osr_runs_are_deterministic() {
+    let p = loop_in_main(4_000);
+    let make = || {
+        let mut c = fast(AosConfig::with_osr(PolicyKind::Fixed { max: 3 }));
+        c.recovery.monitor_guard_health = true;
+        c
+    };
+    let a = run(&p, make());
+    let b = run(&p, make());
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.total_cycles(), b.total_cycles());
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.osr, b.osr);
+    assert_eq!(a.recovery, b.recovery);
+}

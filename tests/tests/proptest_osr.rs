@@ -1,0 +1,200 @@
+//! Property-based tests on the OSR frame maps: every transfer an
+//! [`OsrPoint`] accepts must be losslessly reversible (including for
+//! reference-typed locals), and every frame/map combination it cannot
+//! prove safe must be *refused* — an error, never a panic and never a
+//! silently corrupt frame.
+
+use aoci_ir::{ClassId, Reg};
+use aoci_vm::{Heap, OsrError, OsrMap, OsrPoint, OsrSlot, Value};
+use proptest::prelude::*;
+
+/// An arbitrary frame of `len` runtime values, mixing nulls, integers and
+/// genuine heap references (allocated from a scratch heap so the `ObjRef`s
+/// are real, distinguishable objects).
+fn frame_strategy(len: usize) -> impl Strategy<Value = Vec<Value>> {
+    let slot = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (0u32..8).prop_map(|i| {
+            let mut heap = Heap::new();
+            let mut last = None;
+            for _ in 0..=i {
+                last = Some(heap.alloc_object(ClassId::from_index(0), 1));
+            }
+            Value::Ref(last.expect("allocated at least one object"))
+        }),
+    ];
+    prop::collection::vec(slot, len..len + 1)
+}
+
+/// Arbitrary (possibly malformed) slot lists against frames of
+/// `baseline_regs`/`opt_regs` registers: registers are drawn from a range
+/// slightly *wider* than the frames so out-of-range and aliased slots
+/// occur naturally.
+fn slots_strategy(baseline_regs: u16, opt_regs: u16) -> impl Strategy<Value = Vec<OsrSlot>> {
+    prop::collection::vec(
+        (0..baseline_regs + 2, 0..opt_regs + 2)
+            .prop_map(|(b, o)| OsrSlot { baseline: Reg(b), optimized: Reg(o) }),
+        0..12,
+    )
+}
+
+/// What `OsrPoint::validate` must decide for a slot list, derived
+/// independently of its implementation.
+fn expect_valid(slots: &[OsrSlot], baseline_regs: u16, opt_regs: u16) -> bool {
+    let in_range = slots
+        .iter()
+        .all(|s| s.baseline.0 < baseline_regs && s.optimized.0 < opt_regs);
+    let mut base: Vec<u16> = slots.iter().map(|s| s.baseline.0).collect();
+    let mut opt: Vec<u16> = slots.iter().map(|s| s.optimized.0).collect();
+    base.sort_unstable();
+    base.dedup();
+    opt.sort_unstable();
+    opt.dedup();
+    in_range && base.len() == slots.len() && opt.len() == slots.len()
+}
+
+proptest! {
+    /// The inliner's identity map round-trips any frame — including
+    /// reference-typed locals — and pads the wider optimized frame with
+    /// nulls, exactly like a fresh invocation frame.
+    #[test]
+    fn identity_roundtrip_is_lossless(
+        frame in (1usize..12).prop_flat_map(frame_strategy),
+        extra in 0u16..6,
+        bpc in 0u32..64,
+        opc in 0u32..64,
+    ) {
+        let n = frame.len() as u16;
+        let p = OsrPoint::identity(bpc, opc, n);
+        prop_assert!(p.validate(n, n + extra).is_ok());
+        let opt = p.map_to_optimized(&frame, n + extra).unwrap();
+        prop_assert_eq!(&opt[..frame.len()], &frame[..]);
+        prop_assert!(opt[frame.len()..].iter().all(|v| matches!(v, Value::Null)));
+        let back = p.map_to_baseline(&opt, n).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    /// A map whose optimized side is an arbitrary permutation of the
+    /// baseline window still round-trips losslessly: `map_to_baseline` is
+    /// the inverse of `map_to_optimized` for every valid point, whatever
+    /// shuffling the register correspondence performs.
+    #[test]
+    fn permuted_slots_roundtrip(
+        (frame, perm) in (2usize..10).prop_flat_map(|n| {
+            let perm = Just((0..n as u16).collect::<Vec<_>>()).prop_shuffle();
+            (frame_strategy(n), perm)
+        }),
+    ) {
+        let n = frame.len() as u16;
+        let p = OsrPoint {
+            baseline_pc: 0,
+            opt_pc: 0,
+            slots: perm
+                .iter()
+                .enumerate()
+                .map(|(b, &o)| OsrSlot { baseline: Reg(b as u16), optimized: Reg(o) })
+                .collect(),
+        };
+        prop_assert!(p.validate(n, n).is_ok());
+        let opt = p.map_to_optimized(&frame, n).unwrap();
+        for (b, &o) in perm.iter().enumerate() {
+            prop_assert_eq!(opt[o as usize], frame[b]);
+        }
+        prop_assert_eq!(p.map_to_baseline(&opt, n).unwrap(), frame);
+    }
+
+    /// `validate` accepts exactly the in-range, alias-free slot lists (the
+    /// reversible ones), and whenever it accepts, the transfer really is
+    /// reversible: every mapped baseline register survives the round trip
+    /// and every unmapped one comes back dead (null).
+    #[test]
+    fn validate_ok_iff_reversible(
+        slots in slots_strategy(6, 8),
+        frame in frame_strategy(6),
+    ) {
+        let p = OsrPoint { baseline_pc: 0, opt_pc: 0, slots };
+        let verdict = p.validate(6, 8);
+        prop_assert_eq!(verdict.is_ok(), expect_valid(&p.slots, 6, 8), "{:?}", verdict);
+        if verdict.is_ok() {
+            let opt = p.map_to_optimized(&frame, 8).unwrap();
+            let back = p.map_to_baseline(&opt, 6).unwrap();
+            for r in 0..6u16 {
+                let mapped = p.slots.iter().any(|s| s.baseline.0 == r);
+                if mapped {
+                    prop_assert_eq!(back[r as usize], frame[r as usize]);
+                } else {
+                    prop_assert_eq!(back[r as usize], Value::Null);
+                }
+            }
+        }
+    }
+
+    /// Transfers through *any* slot list — valid or not — never panic and
+    /// never fabricate a frame: they either succeed or return an error
+    /// that leaves both frames untouched.
+    #[test]
+    fn transfers_never_panic(
+        slots in slots_strategy(6, 8),
+        frame in (0usize..10).prop_flat_map(frame_strategy),
+        target in 0u16..10,
+    ) {
+        let p = OsrPoint { baseline_pc: 0, opt_pc: 0, slots };
+        if let Ok(out) = p.map_to_optimized(&frame, target) {
+            prop_assert_eq!(out.len(), target as usize);
+        }
+        if let Ok(out) = p.map_to_baseline(&frame, target) {
+            prop_assert_eq!(out.len(), target as usize);
+        }
+    }
+
+    /// A frame shorter than the map's widest slot is always refused with
+    /// `FrameTooSmall` — the checked-refusal half of the OSR contract.
+    #[test]
+    fn short_frames_are_refused(
+        frame in (0usize..6).prop_flat_map(frame_strategy),
+        n in 6u16..12,
+    ) {
+        let p = OsrPoint::identity(0, 0, n);
+        prop_assert!(matches!(
+            p.map_to_optimized(&frame, n),
+            Err(OsrError::FrameTooSmall { .. })
+        ));
+        prop_assert!(matches!(
+            p.map_to_baseline(&frame, n),
+            Err(OsrError::FrameTooSmall { .. })
+        ));
+    }
+
+    /// `OsrMap::new` accepts a point list exactly when no two points share
+    /// a pc on either side, and the accepted map answers both lookups.
+    #[test]
+    fn map_construction_rejects_exactly_duplicates(
+        pcs in prop::collection::vec((0u32..6, 0u32..6), 0..6),
+    ) {
+        let points: Vec<OsrPoint> =
+            pcs.iter().map(|&(b, o)| OsrPoint::identity(b, o, 2)).collect();
+        let mut base: Vec<u32> = pcs.iter().map(|p| p.0).collect();
+        let mut opt: Vec<u32> = pcs.iter().map(|p| p.1).collect();
+        base.sort_unstable();
+        base.dedup();
+        opt.sort_unstable();
+        opt.dedup();
+        let unique = base.len() == pcs.len() && opt.len() == pcs.len();
+        match OsrMap::new(points) {
+            Ok(map) => {
+                prop_assert!(unique);
+                prop_assert_eq!(map.len(), pcs.len());
+                prop_assert!(map.validate(2, 2).is_ok());
+                for &(b, o) in &pcs {
+                    prop_assert_eq!(map.entry_at_baseline(b).unwrap().opt_pc, o);
+                    prop_assert_eq!(map.exit_at_opt(o).unwrap().baseline_pc, b);
+                }
+            }
+            Err(e) => {
+                prop_assert!(!unique);
+                prop_assert_eq!(e, OsrError::DuplicatePoint);
+            }
+        }
+    }
+}

@@ -3,9 +3,10 @@
 //!
 //! The build environment has no access to crates.io, so the real `proptest`
 //! cannot be fetched. This vendored crate implements just enough —
-//! [`Strategy`] with `prop_map`, `any`, ranges and tuples/arrays as
-//! strategies, `prop::collection::vec`, `prop_oneof!`, `proptest!` and the
-//! `prop_assert*` macros — to run the workspace's property tests unchanged.
+//! [`Strategy`] with `prop_map`/`prop_flat_map`/`prop_shuffle`, `Just`,
+//! `any`, ranges and tuples/arrays as strategies, `prop::collection::vec`,
+//! `prop_oneof!`, `proptest!` and the `prop_assert*` macros — to run the
+//! workspace's property tests unchanged.
 //! Generation is purely random (seeded, deterministic); there is no
 //! shrinking. Failing cases therefore report the failing input via the
 //! panic message only.
@@ -30,7 +31,7 @@ pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
 pub mod prelude {
     pub use crate::any;
     pub use crate::prop;
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
@@ -145,6 +146,27 @@ mod tests {
         fn arrays_generate(a in [0u8..4, 0u8..4], bytes in any::<[u8; 2]>()) {
             prop_assert!(a[0] < 4 && a[1] < 4);
             let _ = bytes;
+        }
+
+        #[test]
+        fn flat_map_builds_dependent_strategies(
+            v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u8..10, n..n + 1)),
+        ) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn shuffle_permutes(
+            v in Just((0u8..8).collect::<Vec<_>>()).prop_shuffle(),
+        ) {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0u8..8).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn just_is_constant(x in Just(41u8).prop_map(|x| x + 1)) {
+            prop_assert_eq!(x, 42);
         }
     }
 
