@@ -4,6 +4,7 @@ use crate::fault::FaultConfig;
 use aoci_core::{AdaptiveConfig, MatchMode, PolicyKind};
 use aoci_opt::OptConfig;
 use aoci_profile::DcgConfig;
+use aoci_trace::TraceConfig;
 use aoci_vm::{CostModel, VmConfig};
 
 /// Tunables of the recovery layer: guard-thrash invalidation, compile
@@ -129,6 +130,11 @@ pub struct AosConfig {
     /// Fault injection; `None` (the default) runs faultless and the system
     /// is bit-identical to one built before this subsystem existed.
     pub fault: Option<FaultConfig>,
+    /// Flight-recorder event tracing; `None` (the default) skips every
+    /// emit site with a single branch, and — since recording charges no
+    /// simulated cycles — a traced run produces exactly the metrics of an
+    /// untraced one.
+    pub trace: Option<TraceConfig>,
 }
 
 impl AosConfig {
@@ -155,6 +161,7 @@ impl AosConfig {
             controller_cost_per_event: 150,
             recovery: RecoveryConfig::default(),
             fault: None,
+            trace: None,
         }
     }
 
@@ -171,6 +178,15 @@ impl AosConfig {
     pub fn with_osr(policy: PolicyKind) -> Self {
         let mut config = Self::new(policy);
         config.vm.osr_enabled = true;
+        config
+    }
+
+    /// Default configuration for a given policy with the flight recorder
+    /// on: every layer emits typed, cycle-timestamped events into a ring
+    /// buffer the final [`AosReport`](crate::AosReport) carries.
+    pub fn with_trace(policy: PolicyKind) -> Self {
+        let mut config = Self::new(policy);
+        config.trace = Some(TraceConfig::default());
         config
     }
 }

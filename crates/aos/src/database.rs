@@ -220,10 +220,27 @@ mod tests {
     fn records_inlines_and_refusals() {
         let mut db = AosDatabase::new();
         let c = compilation(
-            vec![InlineDecision { context: vec![cs(0, 0)], callee: mid(1), guarded: false }],
+            vec![InlineDecision {
+                context: vec![cs(0, 0)],
+                callee: mid(1),
+                guarded: false,
+                provenance: Default::default(),
+            }],
             vec![
-                Refusal { site: cs(0, 1), callee: mid(2), reason: RefusalReason::TooLarge, hot: true },
-                Refusal { site: cs(0, 2), callee: mid(3), reason: RefusalReason::NotHot, hot: false },
+                Refusal {
+                    site: cs(0, 1),
+                    callee: mid(2),
+                    reason: RefusalReason::TooLarge,
+                    hot: true,
+                    provenance: Default::default(),
+                },
+                Refusal {
+                    site: cs(0, 2),
+                    callee: mid(3),
+                    reason: RefusalReason::NotHot,
+                    hot: false,
+                    provenance: Default::default(),
+                },
             ],
         );
         db.record_compilation(mid(0), &c, 42);
@@ -245,7 +262,12 @@ mod tests {
         db.record_compilation(
             mid(0),
             &compilation(
-                vec![InlineDecision { context: vec![cs(0, 0)], callee: mid(1), guarded: true }],
+                vec![InlineDecision {
+                    context: vec![cs(0, 0)],
+                    callee: mid(1),
+                    guarded: true,
+                    provenance: Default::default(),
+                }],
                 vec![],
             ),
             1,
@@ -269,7 +291,12 @@ mod tests {
         db.record_compilation(
             mid(0),
             &compilation(
-                vec![InlineDecision { context: vec![cs(0, 0)], callee: mid(1), guarded: false }],
+                vec![InlineDecision {
+                context: vec![cs(0, 0)],
+                callee: mid(1),
+                guarded: false,
+                provenance: Default::default(),
+            }],
                 vec![],
             ),
             1,
@@ -277,7 +304,12 @@ mod tests {
         db.record_compilation(
             mid(0),
             &compilation(
-                vec![InlineDecision { context: vec![cs(0, 1)], callee: mid(2), guarded: true }],
+                vec![InlineDecision {
+                    context: vec![cs(0, 1)],
+                    callee: mid(2),
+                    guarded: true,
+                    provenance: Default::default(),
+                }],
                 vec![],
             ),
             2,

@@ -35,6 +35,14 @@
 //! quarantined after repeated failures), and malformed profile traces are
 //! rejected at the store boundary.
 //!
+//! A **flight recorder** ([`AosConfig::with_trace`], `aoci-trace`) captures
+//! every layer's activity — sampler ticks, trace walks, promotions,
+//! per-candidate inlining decisions with full provenance, installs,
+//! invalidations, OSR transitions, injected faults — as typed events
+//! timestamped in simulated cycles, so same-seed reruns record
+//! bit-identical streams. Recording charges no cycles: a traced run's
+//! metrics are exactly an untraced run's.
+//!
 //! ```
 //! use aoci_aos::{AosConfig, AosSystem};
 //! use aoci_core::PolicyKind;
@@ -70,5 +78,6 @@ mod system;
 pub use config::{AosConfig, ProfileBackend, RecoveryConfig};
 pub use database::{AosDatabase, CompilationRecord};
 pub use fault::{CompileFault, FaultConfig, FaultInjector, InjectedFaults, TraceCorruption};
+pub use aoci_trace::{TraceConfig, TraceEvent, TraceLog};
 pub use report::{AosReport, OsrEvents, RecoveryEvents};
 pub use system::{AosSystem, FullRunResult};

@@ -1,13 +1,18 @@
 //! The end-of-run report: everything the evaluation harness needs to
-//! reproduce the paper's Figures 4–6 and summary statistics.
+//! reproduce the paper's Figures 4–6 and summary statistics, plus hand-
+//! written `aoci-json` conversions for persisting a report.
 
 use crate::database::CompilationRecord;
+use aoci_ir::MethodId;
+use aoci_json::Value as Json;
 use aoci_profile::TraceStatsReport;
-use aoci_vm::{Clock, Component, ExecCounters, Value};
+use aoci_trace::TraceLog;
+use aoci_vm::{Clock, Component, ExecCounters, Value, COMPONENTS};
 
 /// Everything the recovery layer did during a run — the degradation story
-/// of a faulted execution. All zeros in an unfaulted, healthy run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// of a faulted execution. All zeros (and an empty dump) in an unfaulted,
+/// healthy run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryEvents {
     /// Optimized versions invalidated for guard thrash (the method fell
     /// back to baseline at its next invocation).
@@ -27,6 +32,11 @@ pub struct RecoveryEvents {
     pub dropped_samples: u64,
     /// Adversarial receiver bursts delivered.
     pub receiver_bursts: u64,
+    /// When flight-recorder tracing is on: the rendered last-N events as of
+    /// the most recent recovery action — the automatic post-mortem context
+    /// for "why did the system degrade here?". Empty when tracing is off or
+    /// no recovery action fired.
+    pub trace_dump: Vec<String>,
 }
 
 impl RecoveryEvents {
@@ -34,6 +44,53 @@ impl RecoveryEvents {
     /// the injected-fault counters which record the adversary acting).
     pub fn total_actions(&self) -> u64 {
         self.invalidations + self.compile_retries + self.quarantined_methods + self.rejected_traces
+    }
+
+    /// Total faults the adversary delivered (the injected-side mirror of
+    /// [`RecoveryEvents::total_actions`]).
+    pub fn total_injected(&self) -> u64 {
+        self.injected_compile_faults
+            + self.injected_corrupt_traces
+            + self.dropped_samples
+            + self.receiver_bursts
+    }
+
+    /// Serializes to an `aoci-json` object (every counter plus the dump).
+    pub fn to_value(&self) -> Json {
+        Json::obj([
+            ("invalidations".to_string(), Json::from(self.invalidations)),
+            ("compile_retries".to_string(), Json::from(self.compile_retries)),
+            ("quarantined_methods".to_string(), Json::from(self.quarantined_methods)),
+            ("rejected_traces".to_string(), Json::from(self.rejected_traces)),
+            ("injected_compile_faults".to_string(), Json::from(self.injected_compile_faults)),
+            ("injected_corrupt_traces".to_string(), Json::from(self.injected_corrupt_traces)),
+            ("dropped_samples".to_string(), Json::from(self.dropped_samples)),
+            ("receiver_bursts".to_string(), Json::from(self.receiver_bursts)),
+            (
+                "trace_dump".to_string(),
+                Json::Arr(self.trace_dump.iter().map(|s| Json::from(s.as_str())).collect()),
+            ),
+        ])
+    }
+
+    /// Inverse of [`RecoveryEvents::to_value`]; `None` on shape mismatch.
+    pub fn from_value(v: &Json) -> Option<Self> {
+        Some(RecoveryEvents {
+            invalidations: v.get("invalidations")?.as_u64()?,
+            compile_retries: v.get("compile_retries")?.as_u64()?,
+            quarantined_methods: v.get("quarantined_methods")?.as_u64()?,
+            rejected_traces: v.get("rejected_traces")?.as_u64()?,
+            injected_compile_faults: v.get("injected_compile_faults")?.as_u64()?,
+            injected_corrupt_traces: v.get("injected_corrupt_traces")?.as_u64()?,
+            dropped_samples: v.get("dropped_samples")?.as_u64()?,
+            receiver_bursts: v.get("receiver_bursts")?.as_u64()?,
+            trace_dump: v
+                .get("trace_dump")?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect::<Option<Vec<String>>>()?,
+        })
     }
 }
 
@@ -53,6 +110,28 @@ pub struct OsrEvents {
     /// OSR-out transitions performed: optimized activations deoptimized
     /// back to baseline mid-loop (invalidation or frame-local thrash).
     pub exits: u64,
+}
+
+impl OsrEvents {
+    /// Serializes to an `aoci-json` object.
+    pub fn to_value(&self) -> Json {
+        Json::obj([
+            ("requests".to_string(), Json::from(self.requests)),
+            ("denied".to_string(), Json::from(self.denied)),
+            ("entries".to_string(), Json::from(self.entries)),
+            ("exits".to_string(), Json::from(self.exits)),
+        ])
+    }
+
+    /// Inverse of [`OsrEvents::to_value`]; `None` on shape mismatch.
+    pub fn from_value(v: &Json) -> Option<Self> {
+        Some(OsrEvents {
+            requests: v.get("requests")?.as_u64()?,
+            denied: v.get("denied")?.as_u64()?,
+            entries: v.get("entries")?.as_u64()?,
+            exits: v.get("exits")?.as_u64()?,
+        })
+    }
 }
 
 /// Metrics of one complete AOS run.
@@ -92,6 +171,10 @@ pub struct AosReport {
     pub recovery: RecoveryEvents,
     /// On-stack-replacement activity (requests, grants, transitions).
     pub osr: OsrEvents,
+    /// The flight recorder's final log, when tracing was on. Excluded from
+    /// [`AosReport::to_value`] — events are exported through their own
+    /// sinks (Chrome trace, rendered lines), not the metrics JSON.
+    pub trace_log: Option<TraceLog>,
 }
 
 impl AosReport {
@@ -126,60 +209,320 @@ impl AosReport {
             self.counters.guard_misses as f64 / self.counters.guard_checks as f64
         }
     }
+
+    /// Flight-recorder summary, when tracing was on: `(emitted, dropped,
+    /// distinct kinds retained)`.
+    pub fn trace_summary(&self) -> Option<(u64, u64, usize)> {
+        let log = self.trace_log.as_ref()?;
+        Some((log.emitted, log.dropped, log.kinds().len()))
+    }
+
+    /// Serializes the report to an `aoci-json` object.
+    ///
+    /// Two fields do not round-trip exactly: a [`Value::Ref`] result (a
+    /// heap reference has no meaning outside its run — it deserializes as
+    /// `None`) and [`AosReport::trace_log`] (exported through its own
+    /// sinks; deserializes as `None`). Everything else is exact.
+    pub fn to_value(&self) -> Json {
+        let result = match &self.result {
+            None => Json::Null,
+            Some(Value::Null) => Json::obj([("kind".to_string(), Json::from("null"))]),
+            Some(Value::Int(i)) => Json::obj([
+                ("kind".to_string(), Json::from("int")),
+                ("value".to_string(), Json::from(*i)),
+            ]),
+            Some(Value::Ref(_)) => Json::obj([("kind".to_string(), Json::from("ref"))]),
+        };
+        let clock = Json::obj(
+            COMPONENTS
+                .iter()
+                .map(|&c| (c.to_string(), Json::from(self.clock.component(c)))),
+        );
+        let counters = Json::obj([
+            ("calls".to_string(), Json::from(self.counters.calls)),
+            ("virtual_dispatches".to_string(), Json::from(self.counters.virtual_dispatches)),
+            ("guard_checks".to_string(), Json::from(self.counters.guard_checks)),
+            ("guard_misses".to_string(), Json::from(self.counters.guard_misses)),
+            ("osr_entries".to_string(), Json::from(self.counters.osr_entries)),
+            ("osr_exits".to_string(), Json::from(self.counters.osr_exits)),
+        ]);
+        let stats = Json::obj([
+            ("samples".to_string(), Json::from(self.trace_stats.samples)),
+            (
+                "immediately_parameterless".to_string(),
+                Json::from(self.trace_stats.immediately_parameterless),
+            ),
+            (
+                "parameterless_within_5".to_string(),
+                Json::from(self.trace_stats.parameterless_within_5),
+            ),
+            (
+                "class_method_within_2".to_string(),
+                Json::from(self.trace_stats.class_method_within_2),
+            ),
+            (
+                "large_at_or_beyond_4".to_string(),
+                Json::from(self.trace_stats.large_at_or_beyond_4),
+            ),
+        ]);
+        let compilations = Json::Arr(
+            self.compilations
+                .iter()
+                .map(|c| {
+                    Json::obj([
+                        ("method".to_string(), Json::from(c.method.index() as u64)),
+                        ("generated_size".to_string(), Json::from(c.generated_size)),
+                        ("inlines".to_string(), Json::from(c.inlines)),
+                        ("guarded".to_string(), Json::from(c.guarded)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("result".to_string(), result),
+            ("clock".to_string(), clock),
+            ("optimized_code_size".to_string(), Json::from(self.optimized_code_size)),
+            ("current_optimized_size".to_string(), Json::from(self.current_optimized_size)),
+            ("opt_compilations".to_string(), Json::from(self.opt_compilations)),
+            ("baseline_compilations".to_string(), Json::from(self.baseline_compilations)),
+            ("samples".to_string(), Json::from(self.samples)),
+            ("traces_recorded".to_string(), Json::from(self.traces_recorded)),
+            ("frames_walked".to_string(), Json::from(self.frames_walked)),
+            ("dcg_entries".to_string(), Json::from(self.dcg_entries as u64)),
+            ("final_rules".to_string(), Json::from(self.final_rules as u64)),
+            ("trace_stats".to_string(), stats),
+            ("counters".to_string(), counters),
+            ("compilations".to_string(), compilations),
+            ("recovery".to_string(), self.recovery.to_value()),
+            ("osr".to_string(), self.osr.to_value()),
+        ])
+    }
+
+    /// Inverse of [`AosReport::to_value`]; `None` on shape mismatch. The
+    /// rebuilt clock recharges every component, so totals and fractions
+    /// match the original exactly.
+    pub fn from_value(v: &Json) -> Option<Self> {
+        let result = match v.get("result")? {
+            Json::Null => None,
+            r => match r.get("kind")?.as_str()? {
+                "null" => Some(Value::Null),
+                "int" => Some(Value::Int(r.get("value")?.as_i64()?)),
+                "ref" => None, // heap references do not survive the run
+                _ => return None,
+            },
+        };
+        let clock_obj = v.get("clock")?;
+        let mut clock = Clock::new();
+        for &c in COMPONENTS.iter() {
+            clock.charge(c, clock_obj.get(&c.to_string())?.as_u64()?);
+        }
+        let co = v.get("counters")?;
+        let counters = ExecCounters {
+            calls: co.get("calls")?.as_u64()?,
+            virtual_dispatches: co.get("virtual_dispatches")?.as_u64()?,
+            guard_checks: co.get("guard_checks")?.as_u64()?,
+            guard_misses: co.get("guard_misses")?.as_u64()?,
+            osr_entries: co.get("osr_entries")?.as_u64()?,
+            osr_exits: co.get("osr_exits")?.as_u64()?,
+        };
+        let st = v.get("trace_stats")?;
+        let trace_stats = TraceStatsReport {
+            samples: st.get("samples")?.as_u64()?,
+            immediately_parameterless: st.get("immediately_parameterless")?.as_f64()?,
+            parameterless_within_5: st.get("parameterless_within_5")?.as_f64()?,
+            class_method_within_2: st.get("class_method_within_2")?.as_f64()?,
+            large_at_or_beyond_4: st.get("large_at_or_beyond_4")?.as_f64()?,
+        };
+        let compilations = v
+            .get("compilations")?
+            .as_arr()?
+            .iter()
+            .map(|c| {
+                Some(CompilationRecord {
+                    method: MethodId::from_index(c.get("method")?.as_u64()? as usize),
+                    generated_size: c.get("generated_size")?.as_u64()? as u32,
+                    inlines: c.get("inlines")?.as_u64()? as u32,
+                    guarded: c.get("guarded")?.as_u64()? as u32,
+                })
+            })
+            .collect::<Option<Vec<CompilationRecord>>>()?;
+        Some(AosReport {
+            result,
+            clock,
+            optimized_code_size: v.get("optimized_code_size")?.as_u64()?,
+            current_optimized_size: v.get("current_optimized_size")?.as_u64()?,
+            opt_compilations: v.get("opt_compilations")?.as_u64()? as u32,
+            baseline_compilations: v.get("baseline_compilations")?.as_u64()? as u32,
+            samples: v.get("samples")?.as_u64()?,
+            traces_recorded: v.get("traces_recorded")?.as_u64()?,
+            frames_walked: v.get("frames_walked")?.as_u64()?,
+            dcg_entries: v.get("dcg_entries")?.as_u64()? as usize,
+            final_rules: v.get("final_rules")?.as_u64()? as usize,
+            trace_stats,
+            counters,
+            compilations,
+            recovery: RecoveryEvents::from_value(v.get("recovery")?)?,
+            osr: OsrEvents::from_value(v.get("osr")?)?,
+            trace_log: None,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn derived_metrics() {
+    fn populated_report() -> AosReport {
         let mut clock = Clock::new();
         clock.charge(Component::AppOptimized, 900);
         clock.charge(Component::CompilationThread, 100);
-        let r = AosReport {
-            result: None,
+        clock.charge(Component::Recovery, 40);
+        clock.charge(Component::Osr, 25);
+        AosReport {
+            result: Some(Value::Int(-42)),
             clock,
-            optimized_code_size: 10,
-            current_optimized_size: 10,
-            opt_compilations: 1,
-            baseline_compilations: 2,
-            samples: 5,
-            traces_recorded: 3,
-            frames_walked: 9,
-            dcg_entries: 3,
-            final_rules: 1,
-            trace_stats: aoci_profile::TraceStatsCollector::new().report(),
-            counters: ExecCounters {
-                calls: 10,
-                virtual_dispatches: 4,
-                guard_checks: 8,
-                guard_misses: 2,
-                ..ExecCounters::default()
+            optimized_code_size: 310,
+            current_optimized_size: 180,
+            opt_compilations: 3,
+            baseline_compilations: 7,
+            samples: 55,
+            traces_recorded: 31,
+            frames_walked: 96,
+            dcg_entries: 12,
+            final_rules: 4,
+            trace_stats: TraceStatsReport {
+                samples: 31,
+                immediately_parameterless: 0.25,
+                parameterless_within_5: 0.75,
+                class_method_within_2: 0.5,
+                large_at_or_beyond_4: 0.125,
             },
-            compilations: Vec::new(),
-            recovery: RecoveryEvents::default(),
-            osr: OsrEvents::default(),
-        };
-        assert_eq!(r.total_cycles(), 1000);
-        assert_eq!(r.compile_cycles(), 100);
-        assert!((r.fraction(Component::CompilationThread) - 0.1).abs() < 1e-12);
-        assert!((r.guard_miss_rate() - 0.25).abs() < 1e-12);
-        assert_eq!(r.aos_overhead(), 100);
+            counters: ExecCounters {
+                calls: 1000,
+                virtual_dispatches: 400,
+                guard_checks: 64,
+                guard_misses: 9,
+                osr_entries: 2,
+                osr_exits: 1,
+            },
+            compilations: vec![
+                CompilationRecord {
+                    method: MethodId::from_index(4),
+                    generated_size: 120,
+                    inlines: 3,
+                    guarded: 1,
+                },
+                CompilationRecord {
+                    method: MethodId::from_index(9),
+                    generated_size: 60,
+                    inlines: 0,
+                    guarded: 0,
+                },
+            ],
+            recovery: RecoveryEvents {
+                invalidations: 2,
+                compile_retries: 3,
+                quarantined_methods: 1,
+                rejected_traces: 4,
+                injected_compile_faults: 5,
+                injected_corrupt_traces: 6,
+                dropped_samples: 7,
+                receiver_bursts: 8,
+                trace_dump: vec![
+                    "#10 @900 invalidate method=\"hot\"".to_string(),
+                    "#11 @940 quarantine method=\"hot\"".to_string(),
+                ],
+            },
+            osr: OsrEvents { requests: 9, denied: 3, entries: 2, exits: 1 },
+            trace_log: None,
+        }
     }
 
     #[test]
-    fn recovery_actions_exclude_injected_counters() {
+    fn derived_metrics() {
+        let mut r = populated_report();
+        r.recovery = RecoveryEvents::default();
+        r.osr = OsrEvents::default();
+        assert_eq!(r.total_cycles(), 1065);
+        assert_eq!(r.compile_cycles(), 100);
+        assert!((r.fraction(Component::CompilationThread) - 100.0 / 1065.0).abs() < 1e-12);
+        assert!((r.guard_miss_rate() - 9.0 / 64.0).abs() < 1e-12);
+        assert_eq!(r.aos_overhead(), 165);
+        assert_eq!(r.trace_summary(), None);
+    }
+
+    #[test]
+    fn recovery_actions_exclude_injected_counters_and_dump() {
         let ev = RecoveryEvents {
             invalidations: 1,
             compile_retries: 2,
             quarantined_methods: 3,
             rejected_traces: 4,
             injected_compile_faults: 100,
-            injected_corrupt_traces: 100,
-            dropped_samples: 100,
-            receiver_bursts: 100,
+            injected_corrupt_traces: 200,
+            dropped_samples: 300,
+            receiver_bursts: 400,
+            trace_dump: vec!["#0 @1 sample-tick".to_string(); 32],
         };
-        assert_eq!(ev.total_actions(), 10);
+        assert_eq!(ev.total_actions(), 10, "dump lines are context, not actions");
+        assert_eq!(ev.total_injected(), 1000);
+    }
+
+    #[test]
+    fn recovery_defaults_are_empty() {
+        let ev = RecoveryEvents::default();
+        assert_eq!(ev.total_actions(), 0);
+        assert_eq!(ev.total_injected(), 0);
+        assert!(ev.trace_dump.is_empty());
+        let back = RecoveryEvents::from_value(&ev.to_value()).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn report_round_trips_through_json_text() {
+        let report = populated_report();
+        let text = aoci_json::to_string_pretty(&report.to_value());
+        let parsed = aoci_json::parse(&text).expect("serialized report must parse");
+        let back = AosReport::from_value(&parsed).expect("shape must match");
+
+        // Field by field: every metric survives the text round-trip.
+        assert_eq!(back.result, report.result);
+        for &c in COMPONENTS.iter() {
+            assert_eq!(back.clock.component(c), report.clock.component(c), "{c}");
+        }
+        assert_eq!(back.clock.total(), report.clock.total());
+        assert_eq!(back.optimized_code_size, report.optimized_code_size);
+        assert_eq!(back.current_optimized_size, report.current_optimized_size);
+        assert_eq!(back.opt_compilations, report.opt_compilations);
+        assert_eq!(back.baseline_compilations, report.baseline_compilations);
+        assert_eq!(back.samples, report.samples);
+        assert_eq!(back.traces_recorded, report.traces_recorded);
+        assert_eq!(back.frames_walked, report.frames_walked);
+        assert_eq!(back.dcg_entries, report.dcg_entries);
+        assert_eq!(back.final_rules, report.final_rules);
+        assert_eq!(back.trace_stats, report.trace_stats);
+        assert_eq!(back.counters, report.counters);
+        assert_eq!(back.compilations, report.compilations);
+        assert_eq!(back.recovery, report.recovery);
+        assert_eq!(back.osr, report.osr);
+        assert!(back.trace_log.is_none());
+
+        // And the derived metrics agree.
+        assert_eq!(back.total_cycles(), report.total_cycles());
+        assert_eq!(back.aos_overhead(), report.aos_overhead());
+        assert!((back.guard_miss_rate() - report.guard_miss_rate()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_value_rejects_malformed_shapes() {
+        let report = populated_report();
+        let mut v = report.to_value();
+        if let Json::Obj(map) = &mut v {
+            map.remove("counters");
+        }
+        assert!(AosReport::from_value(&v).is_none());
+        assert!(AosReport::from_value(&Json::Null).is_none());
+        assert!(RecoveryEvents::from_value(&Json::from("nope")).is_none());
+        assert!(OsrEvents::from_value(&Json::Arr(Vec::new())).is_none());
     }
 }

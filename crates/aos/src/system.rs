@@ -10,6 +10,7 @@ use aoci_profile::{
     validate_trace, CallingContextTree, Dcg, MethodListener, ProfileStore, TraceKey,
     TraceListener, TraceStatsCollector,
 };
+use aoci_trace::{FaultKind, OsrDenyReason, PlanReason, TraceEvent, TraceLog, TraceSink};
 use aoci_vm::{
     Component, MethodGuardStats, MethodVersion, OptLevel, OsrRequest, RunOutcome, StackSnapshot,
     Vm, VmError,
@@ -73,12 +74,21 @@ pub struct AosSystem<'p> {
     /// OSR promotion requests received / denied so far (the transition
     /// counts themselves live in the VM's [`aoci_vm::ExecCounters`]).
     osr: OsrEvents,
+    /// The flight recorder, when tracing is configured; clones of this sink
+    /// live in the VM and the trace listener.
+    trace: Option<TraceSink>,
 }
 
 impl<'p> AosSystem<'p> {
     /// Creates a system ready to run `program` under `config`.
     pub fn new(program: &'p Program, config: AosConfig) -> Self {
-        let vm = Vm::with_config(program, config.cost.clone(), config.vm.clone());
+        let mut vm = Vm::with_config(program, config.cost.clone(), config.vm.clone());
+        let trace = config.trace.clone().map(TraceSink::new);
+        let mut trace_listener = TraceListener::new();
+        if let Some(t) = &trace {
+            vm.set_trace_sink(t.clone());
+            trace_listener.set_trace_sink(t.clone());
+        }
         let mut policy = PolicyEngine::with_adaptive_config(config.policy, config.adaptive);
         if matches!(config.policy, aoci_core::PolicyKind::IdealApprox { .. }) {
             policy.set_dependence(aoci_core::DependenceAnalysis::analyze(program));
@@ -94,7 +104,7 @@ impl<'p> AosSystem<'p> {
             vm,
             policy,
             method_listener: MethodListener::new(),
-            trace_listener: TraceListener::new(),
+            trace_listener,
             profile,
             rules: Arc::new(RuleSet::new()),
             db: AosDatabase::new(),
@@ -116,8 +126,28 @@ impl<'p> AosSystem<'p> {
             retry_after: Vec::new(),
             quarantined: HashSet::new(),
             osr: OsrEvents::default(),
+            trace,
             config,
         }
+    }
+
+    /// Records `event` in the flight recorder (no-op when tracing is off).
+    /// Events are timestamped with the simulated clock and charge no
+    /// cycles, so traced runs are metrically identical to untraced ones.
+    fn emit(&self, event: TraceEvent) {
+        if let Some(t) = &self.trace {
+            t.emit(self.vm.clock().total(), event);
+        }
+    }
+
+    /// Copies the last-N rendered events into the recovery ledger (the
+    /// automatic flight-recorder dump attached to [`RecoveryEvents`]).
+    fn capture_trace_dump(&mut self) {
+        let Some(t) = &self.trace else { return };
+        let n = self.config.trace.as_ref().map_or(0, |c| c.dump_last);
+        let program = self.program;
+        let resolve = move |m: MethodId| program.method(m).name().to_string();
+        self.recovery.trace_dump = t.dump_last(n, &resolve);
     }
 
     /// Seeds the profile store with offline-gathered trace data (e.g. a
@@ -194,7 +224,22 @@ impl<'p> AosSystem<'p> {
         if self.finished.is_some() {
             return Ok(false);
         }
-        match self.vm.run(u64::MAX)? {
+        let outcome = match self.vm.run(u64::MAX) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // The run is about to abort: record the fault, attach the
+                // last-N dump to the recovery ledger, and surface the
+                // recorder's tail on stderr — the post-mortem the flight
+                // recorder exists for.
+                self.emit(TraceEvent::VmFault { message: e.to_string() });
+                self.capture_trace_dump();
+                for line in &self.recovery.trace_dump {
+                    eprintln!("[aoci-trace] {line}");
+                }
+                return Err(e);
+            }
+        };
+        match outcome {
             RunOutcome::Finished(result) => {
                 self.finished = Some(result);
                 Ok(false)
@@ -220,6 +265,15 @@ impl<'p> AosSystem<'p> {
         // A dropped sample still advances the tick (organizer cadences are
         // wall-clock driven) but its payload never reaches the listeners.
         let dropped = self.fault.as_mut().is_some_and(|f| f.drop_sample());
+        self.emit(TraceEvent::SampleTick {
+            tick: self.sample_count,
+            method: snapshot.root_method,
+            in_prologue: snapshot.top_in_prologue,
+            dropped,
+        });
+        if dropped {
+            self.emit(TraceEvent::FaultInjected { kind: FaultKind::DroppedSample });
+        }
         self.deliver_receiver_burst();
 
         // --- Listeners -------------------------------------------------
@@ -300,7 +354,9 @@ impl<'p> AosSystem<'p> {
             eprintln!("tick {}: samples={:?} min_share={} hot={:?}", self.sample_count, self.method_samples, min_share, hot);
         }
         for m in hot {
-            self.controller_enqueue(m);
+            let samples = self.method_samples.get(&m).copied().unwrap_or(0);
+            self.emit(TraceEvent::HotMethod { method: m, samples });
+            self.controller_enqueue(m, PlanReason::HotMethod);
         }
     }
 
@@ -407,18 +463,19 @@ impl<'p> AosSystem<'p> {
         // deterministic across processes.
         to_queue.sort_unstable_by_key(|m| m.index());
         for m in to_queue {
-            self.controller_enqueue(m);
+            self.controller_enqueue(m, PlanReason::MissingEdge);
         }
     }
 
     /// The controller: accepts an organizer event and creates a compilation
     /// plan (the oracle snapshot is taken when the plan executes).
-    fn controller_enqueue(&mut self, method: MethodId) {
+    fn controller_enqueue(&mut self, method: MethodId, reason: PlanReason) {
         if self.quarantined.contains(&method) {
             return;
         }
         self.charge(Component::ControllerThread, self.config.controller_cost_per_event);
         if self.queued.insert(method) {
+            self.emit(TraceEvent::RecompilePlan { method, reason });
             self.compile_queue.push_back(method);
         }
     }
@@ -443,9 +500,11 @@ impl<'p> AosSystem<'p> {
     /// discarded the compilation (failure bookkeeping already applied).
     fn compile_and_install(&mut self, method: MethodId) -> Option<Arc<MethodVersion>> {
         if let Some(kind) = self.fault.as_mut().and_then(|f| f.compile_fault()) {
-            let wasted = match kind {
+            let (wasted, fault_kind) = match kind {
                 // Aborted partway: only the fixed setup cost was spent.
-                CompileFault::Bailout => self.config.cost.opt_compile_fixed,
+                CompileFault::Bailout => {
+                    (self.config.cost.opt_compile_fixed, FaultKind::CompileBailout)
+                }
                 // Completed then rejected as oversized: full cost spent,
                 // output discarded.
                 CompileFault::Oversize => {
@@ -454,22 +513,55 @@ impl<'p> AosSystem<'p> {
                         self.config.match_mode,
                     );
                     let c = aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
-                    self.config.cost.opt_compile_cost(c.generated_size)
+                    (
+                        self.config.cost.opt_compile_cost(c.generated_size),
+                        FaultKind::CompileOversize,
+                    )
                 }
             };
             self.charge(Component::CompilationThread, wasted);
+            self.emit(TraceEvent::FaultInjected { kind: fault_kind });
             self.handle_compile_failure(method);
             return None;
         }
         let oracle = InlineOracle::with_mode(Arc::clone(&self.rules), self.config.match_mode);
         let compilation = aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
-        self.charge(
-            Component::CompilationThread,
-            self.config.cost.opt_compile_cost(compilation.generated_size),
-        );
+        let cost = self.config.cost.opt_compile_cost(compilation.generated_size);
+        self.charge(Component::CompilationThread, cost);
         self.db
             .record_compilation(method, &compilation, self.ai_generation);
+        if self.trace.is_some() {
+            for d in &compilation.decisions {
+                // The context always starts at the decision's own call site.
+                let Some(&site) = d.context.first() else { continue };
+                self.emit(TraceEvent::InlineDecision {
+                    host: method,
+                    site,
+                    callee: d.callee,
+                    guarded: d.guarded,
+                    provenance: d.provenance,
+                });
+            }
+            for r in &compilation.refusals {
+                self.emit(TraceEvent::InlineRefusal {
+                    host: method,
+                    site: r.site,
+                    callee: r.callee,
+                    reason: r.reason.to_string(),
+                    hot: r.hot,
+                    provenance: r.provenance,
+                });
+            }
+            self.emit(TraceEvent::Compile {
+                method,
+                generated_size: compilation.generated_size,
+                inlines: compilation.decisions.len() as u32,
+                guarded: compilation.guarded_count() as u32,
+                cycles: cost,
+            });
+        }
         let installed = self.vm.registry_mut().install(compilation.version);
+        self.emit(TraceEvent::Install { method, version_id: installed.version_id });
         // A successful install opens a fresh guard-observation window
         // and clears the failure streak.
         self.compile_failures.remove(&method);
@@ -511,8 +603,10 @@ impl<'p> AosSystem<'p> {
     fn on_osr_request(&mut self, req: OsrRequest) {
         self.osr.requests += 1;
         let method = req.method;
+        self.emit(TraceEvent::OsrRequest { method, loop_header: req.loop_header });
         if self.quarantined.contains(&method) {
             self.osr.denied += 1;
+            self.emit(TraceEvent::OsrDeny { method, reason: OsrDenyReason::Quarantined });
             self.vm.suppress_osr(method);
             return;
         }
@@ -524,12 +618,14 @@ impl<'p> AosSystem<'p> {
                 // The installed body has no entry at this header; a repeat
                 // request against the same version cannot do better.
                 self.osr.denied += 1;
+                self.emit(TraceEvent::OsrDeny { method, reason: OsrDenyReason::NoEntryPoint });
                 self.vm.suppress_osr(method);
             }
             return;
         }
         if self.db.recompiles(method) >= self.config.max_recompiles_per_method {
             self.osr.denied += 1;
+            self.emit(TraceEvent::OsrDeny { method, reason: OsrDenyReason::Budget });
             self.vm.suppress_osr(method);
             return;
         }
@@ -537,6 +633,7 @@ impl<'p> AosSystem<'p> {
         // cycles right now; waiting for the hot-methods organizer only
         // helps the *next* invocation.
         self.charge(Component::ControllerThread, self.config.controller_cost_per_event);
+        self.emit(TraceEvent::RecompilePlan { method, reason: PlanReason::OsrPromotion });
         match self.compile_and_install(method) {
             Some(v) => {
                 // The install satisfies any queued plan for this method.
@@ -547,10 +644,18 @@ impl<'p> AosSystem<'p> {
                     // No entry point survived optimization; the next
                     // invocation still benefits from the install.
                     self.osr.denied += 1;
+                    self.emit(TraceEvent::OsrDeny {
+                        method,
+                        reason: OsrDenyReason::NoEntryPoint,
+                    });
                     self.vm.suppress_osr(method);
                 }
             }
-            None => self.osr.denied += 1, // injected fault; retry/backoff booked
+            None => {
+                // Injected fault; retry/backoff booked by the failure path.
+                self.osr.denied += 1;
+                self.emit(TraceEvent::OsrDeny { method, reason: OsrDenyReason::CompileFault });
+            }
         }
     }
 
@@ -560,6 +665,8 @@ impl<'p> AosSystem<'p> {
     fn reject_trace(&mut self) {
         self.recovery.rejected_traces += 1;
         self.charge(Component::Recovery, self.config.recovery.recovery_cost_per_event);
+        self.emit(TraceEvent::TraceRejected);
+        self.capture_trace_dump();
     }
 
     /// Applies an injected corruption to a drained trace, if the injector
@@ -569,6 +676,7 @@ impl<'p> AosSystem<'p> {
         let Some(kind) = self.fault.as_mut().and_then(|f| f.corrupt_trace()) else {
             return (key, 1.0);
         };
+        self.emit(TraceEvent::FaultInjected { kind: FaultKind::CorruptTrace });
         match kind {
             TraceCorruption::UnknownCallee => {
                 let bogus = MethodId::from_index(self.program.num_methods() + 7);
@@ -600,6 +708,7 @@ impl<'p> AosSystem<'p> {
         victims.sort_unstable_by_key(|m| m.index());
         let victim = victims[(selector % victims.len() as u64) as usize];
         *self.synthetic_misses.entry(victim).or_insert(0) += misses;
+        self.emit(TraceEvent::FaultInjected { kind: FaultKind::ReceiverBurst });
     }
 
     /// Scans every currently-optimized method's guard-observation window;
@@ -656,6 +765,8 @@ impl<'p> AosSystem<'p> {
         self.db.record_invalidation(method);
         self.recovery.invalidations += 1;
         self.charge(Component::Recovery, rc.recovery_cost_per_event);
+        self.emit(TraceEvent::Invalidate { method });
+        self.capture_trace_dump();
         self.guard_window_start.insert(method, self.vm.guard_stats(method));
         self.synthetic_misses.remove(&method);
         let streak = {
@@ -675,6 +786,7 @@ impl<'p> AosSystem<'p> {
             // phase-flipping method could otherwise generate; past it the
             // method settles at baseline — degraded, stable, correct.
             let due = self.vm.clock().total() + rc.retry_backoff_base_cycles;
+            self.emit(TraceEvent::RetryScheduled { method, due_cycle: due });
             self.retry_after.push((due, method));
         }
     }
@@ -700,6 +812,8 @@ impl<'p> AosSystem<'p> {
             self.retry_after.push((due, method));
             self.recovery.compile_retries += 1;
             self.charge(Component::Recovery, rc.recovery_cost_per_event);
+            self.emit(TraceEvent::RetryScheduled { method, due_cycle: due });
+            self.capture_trace_dump();
         }
     }
 
@@ -719,7 +833,7 @@ impl<'p> AosSystem<'p> {
             }
         });
         for m in due {
-            self.controller_enqueue(m);
+            self.controller_enqueue(m, PlanReason::Retry);
         }
     }
 
@@ -732,6 +846,8 @@ impl<'p> AosSystem<'p> {
             self.charge(Component::Recovery, self.config.recovery.recovery_cost_per_event);
             self.retry_after.retain(|&(_, m)| m != method);
             self.vm.suppress_osr(method);
+            self.emit(TraceEvent::Quarantine { method });
+            self.capture_trace_dump();
         }
     }
 
@@ -757,6 +873,7 @@ impl<'p> AosSystem<'p> {
             compilations: self.db.compilation_log().to_vec(),
             recovery: self.recovery_events(),
             osr: self.osr_events(),
+            trace_log: self.trace.as_ref().map(TraceSink::log),
         }
     }
 
@@ -782,6 +899,12 @@ impl<'p> AosSystem<'p> {
         &self.policy
     }
 
+    /// A snapshot of the flight recorder, when tracing is configured (also
+    /// usable mid-run between [`AosSystem::step`]s).
+    pub fn trace_log(&self) -> Option<TraceLog> {
+        self.trace.as_ref().map(TraceSink::log)
+    }
+
     /// OSR activity so far: driver-side request/denial counts merged with
     /// the VM's transition counters (also usable mid-run between
     /// [`AosSystem::step`]s).
@@ -797,7 +920,7 @@ impl<'p> AosSystem<'p> {
     /// Recovery actions taken so far, with the injector's delivered-fault
     /// counters merged in (also usable mid-run between [`AosSystem::step`]s).
     pub fn recovery_events(&self) -> RecoveryEvents {
-        let mut ev = self.recovery;
+        let mut ev = self.recovery.clone();
         if let Some(f) = &self.fault {
             let inj = f.injected();
             ev.injected_compile_faults = inj.compile_bailouts + inj.oversize_rejections;

@@ -1,4 +1,4 @@
-use aoci_aos::{AosConfig, AosSystem, FaultConfig};
+use aoci_aos::{AosConfig, AosSystem, FaultConfig, TraceConfig};
 use aoci_core::PolicyKind;
 use aoci_workloads::{build, suite};
 use std::time::Instant;
@@ -10,6 +10,16 @@ use std::time::Instant;
 /// complete, and the per-run line gains the recovery-event counts. Set
 /// `AOCI_OSR=1` to enable on-stack replacement; the per-run line then
 /// gains the OSR request/entry/exit counts.
+///
+/// Set `AOCI_TRACE=1` to turn the flight recorder on: the per-run line
+/// gains the emitted/dropped/kind counts, the richest retained window of
+/// the sweep (preferring windows that span inlining decisions, then most
+/// distinct event kinds) is written as Chrome-trace JSON to
+/// `AOCI_TRACE_OUT` (default `results/smoke_trace.json`, loadable in
+/// `chrome://tracing` / Perfetto), and `AOCI_EXPLAIN=<pattern>`
+/// additionally prints one `explain: …` line per inlining decision or
+/// refusal whose host, callee or call site matches the pattern (empty
+/// pattern matches all).
 fn main() {
     let faults: Option<u64> = match std::env::var("AOCI_FAULTS") {
         Ok(s) if s.trim().is_empty() => None,
@@ -22,12 +32,29 @@ fn main() {
         },
         Err(_) => None,
     };
-    let osr = aoci_bench::metrics::osr_enabled();
+    let osr = aoci_bench::osr_enabled();
+    let trace = aoci_bench::trace_enabled();
+    // The post-mortem default ring (8192) is sized for crash dumps; an
+    // explicit export wants a window wide enough to span compile activity,
+    // so smoke defaults much larger (`AOCI_TRACE_CAP` overrides).
+    let trace_cap: usize = std::env::var("AOCI_TRACE_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 16);
+    let explain = std::env::var("AOCI_EXPLAIN").ok();
+    let trace_out = std::env::var("AOCI_TRACE_OUT")
+        .unwrap_or_else(|_| "results/smoke_trace.json".to_string());
+    // Best export candidate so far: (spans inline decisions, distinct
+    // kinds) lexicographically, with the run label and rendered JSON.
+    let mut best_trace: Option<((bool, usize), String, String)> = None;
     for spec in suite() {
         let w = build(&spec);
         for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
             let t = Instant::now();
             let mut config = if osr { AosConfig::with_osr(policy) } else { AosConfig::new(policy) };
+            if trace {
+                config.trace = Some(TraceConfig { capacity: trace_cap, ..TraceConfig::default() });
+            }
             config.fault = faults.map(FaultConfig::chaos);
             let report = AosSystem::new(&w.program, config).run().expect("runs");
             print!(
@@ -52,7 +79,7 @@ fn main() {
                 );
             }
             if faults.is_some() {
-                let ev = report.recovery;
+                let ev = &report.recovery;
                 print!(
                     " | recovery: inval={} retries={} quarantined={} rejected={} (injected: compile={} traces={} drops={} bursts={})",
                     ev.invalidations,
@@ -65,8 +92,32 @@ fn main() {
                     ev.receiver_bursts,
                 );
             }
+            if let Some((emitted, dropped, kinds)) = report.trace_summary() {
+                print!(" | trace: emitted={emitted} dropped={dropped} kinds={kinds}");
+            }
             println!();
+            if let Some(log) = &report.trace_log {
+                let resolve = |m: aoci_ir::MethodId| w.program.method(m).name().to_string();
+                if let Some(pattern) = &explain {
+                    for line in log.explain(pattern, &resolve) {
+                        println!("explain: {line}");
+                    }
+                }
+                let kinds = log.kinds();
+                let score = (kinds.contains("inline-decision"), kinds.len());
+                if best_trace.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                    let label = format!("{} {policy:?}", w.name);
+                    best_trace = Some((score, label, log.to_chrome_string(&resolve)));
+                }
+            }
         }
+    }
+    if let Some((_, label, json)) = best_trace {
+        if let Some(dir) = std::path::Path::new(&trace_out).parent() {
+            std::fs::create_dir_all(dir).expect("create trace output directory");
+        }
+        std::fs::write(&trace_out, json).expect("write Chrome trace");
+        println!("trace smoke complete: Chrome trace of `{label}` written to {trace_out}");
     }
     if faults.is_some() {
         println!("fault-injected smoke complete: every run degraded gracefully");

@@ -1,0 +1,84 @@
+use aoci_json::Value;
+use std::collections::BTreeSet;
+
+/// Validates a Chrome-trace JSON file produced by the flight recorder
+/// (`smoke` with `AOCI_TRACE=1`, or any embedding of
+/// `TraceLog::to_chrome_string`): the file must parse, carry the expected
+/// top-level shape, and retain at least six distinct event kinds —
+/// including the sampler ticks and per-candidate inlining decisions the
+/// tentpole exists for. Exits non-zero with a diagnostic otherwise.
+///
+/// Usage: `tracecheck [path]` (default `results/smoke_trace.json`).
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/smoke_trace.json".to_string());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("tracecheck: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = aoci_json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("tracecheck: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    let Some(events) = doc.get("traceEvents").and_then(Value::as_arr) else {
+        eprintln!("tracecheck: {path} has no traceEvents array");
+        std::process::exit(1);
+    };
+    let other = doc.get("otherData");
+    let clock = other
+        .and_then(|o| o.get("clock"))
+        .and_then(Value::as_str)
+        .unwrap_or("?");
+    if clock != "simulated-cycles" {
+        eprintln!("tracecheck: expected otherData.clock == \"simulated-cycles\", got {clock:?}");
+        std::process::exit(1);
+    }
+    let mut kinds: BTreeSet<String> = BTreeSet::new();
+    let mut metadata = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Some(ph) = ev.get("ph").and_then(Value::as_str) else {
+            eprintln!("tracecheck: event {i} has no ph");
+            std::process::exit(1);
+        };
+        let Some(name) = ev.get("name").and_then(Value::as_str) else {
+            eprintln!("tracecheck: event {i} has no name");
+            std::process::exit(1);
+        };
+        if ph == "M" {
+            metadata += 1;
+            continue; // thread_name lane labels, not recorded events
+        }
+        if ev.get("ts").and_then(Value::as_u64).is_none() {
+            eprintln!("tracecheck: event {i} ({name}) has no integral ts");
+            std::process::exit(1);
+        }
+        if ph == "X" && ev.get("dur").and_then(Value::as_u64).is_none() {
+            eprintln!("tracecheck: complete event {i} ({name}) has no dur");
+            std::process::exit(1);
+        }
+        kinds.insert(name.to_string());
+    }
+    let mut failed = false;
+    if kinds.len() < 6 {
+        eprintln!("tracecheck: only {} distinct event kinds, need >= 6", kinds.len());
+        failed = true;
+    }
+    for required in ["sample-tick", "inline-decision"] {
+        if !kinds.contains(required) {
+            eprintln!("tracecheck: required event kind {required:?} missing");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("tracecheck: kinds present: {kinds:?}");
+        std::process::exit(1);
+    }
+    println!(
+        "tracecheck: {path} ok — {} events ({} metadata), {} kinds: {}",
+        events.len(),
+        metadata,
+        kinds.len(),
+        kinds.iter().cloned().collect::<Vec<_>>().join(", ")
+    );
+}

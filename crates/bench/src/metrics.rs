@@ -112,6 +112,15 @@ pub fn osr_enabled() -> bool {
     std::env::var("AOCI_OSR").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
 }
 
+/// `true` when runs should record flight-recorder event traces
+/// (`AOCI_TRACE=1`). Recording charges no simulated cycles, so a traced
+/// run's metrics are byte-identical to an untraced run's (asserted by
+/// `tracing_does_not_perturb_metrics` below) and the grid cache does not
+/// key on this flag.
+pub fn trace_enabled() -> bool {
+    std::env::var("AOCI_TRACE").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
+}
+
 /// Builds the AOS configuration for one repetition: repetitions perturb the
 /// sampling period slightly, emulating the timer non-determinism the paper
 /// handles with a best-of-20 protocol.
@@ -121,6 +130,9 @@ pub fn run_config(policy: PolicyKind, rep: usize) -> AosConfig {
     } else {
         AosConfig::new(policy)
     };
+    if trace_enabled() {
+        config.trace = Some(aoci_aos::TraceConfig::default());
+    }
     config.cost.sample_period += (rep as u64) * 37;
     config
 }
@@ -426,6 +438,35 @@ mod tests {
         let p = metrics(800, 100.0);
         let hm = harmonic_mean_speedup_pct(&[(&cins, &p), (&cins, &p)]);
         assert!((hm - 25.0).abs() < 1e-9);
+    }
+
+    /// Satellite guard for the tentpole's zero-overhead claim: a traced run
+    /// must produce metrics **byte-identical** (as serialized JSON) to an
+    /// untraced run of the same workload — so `results/grid.json` cannot
+    /// depend on whether the build recorded events.
+    #[test]
+    fn tracing_does_not_perturb_metrics() {
+        use aoci_workloads::{build, suite};
+        let spec = suite().into_iter().next().expect("non-empty suite");
+        let w = build(&spec);
+        let policy = PolicyKind::Fixed { max: 3 };
+        let untraced = AosSystem::new(&w.program, AosConfig::new(policy))
+            .run()
+            .expect("untraced run");
+        let traced = AosSystem::new(&w.program, AosConfig::with_trace(policy))
+            .run()
+            .expect("traced run");
+        assert!(
+            traced.trace_log.as_ref().is_some_and(|l| l.emitted > 0),
+            "the traced run must actually record events"
+        );
+        assert!(untraced.trace_log.is_none());
+        assert_eq!(traced.total_cycles(), untraced.total_cycles());
+        assert_eq!(
+            aoci_json::to_string(&traced.to_value()),
+            aoci_json::to_string(&untraced.to_value()),
+            "recording events must not perturb any metric"
+        );
     }
 
     #[test]

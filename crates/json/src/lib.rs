@@ -317,11 +317,23 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("unknown escape")),
                     }
                 }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: validating the whole remaining input
+                    // per character would make large documents quadratic.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    // Consume one multi-byte UTF-8 scalar (at most 4 bytes).
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let s = match std::str::from_utf8(rest) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()]).expect("validated prefix")
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8")),
+                    };
                     let c = s.chars().next().ok_or_else(|| self.err("unterminated"))?;
                     out.push(c);
                     self.pos += c.len_utf8();

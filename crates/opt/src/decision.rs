@@ -4,6 +4,8 @@ use aoci_ir::{CallSiteRef, MethodId};
 use aoci_vm::MethodVersion;
 use std::fmt;
 
+pub use aoci_trace::DecisionProvenance;
+
 /// Why the compiler declined to inline a callee at a call site.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RefusalReason {
@@ -53,6 +55,9 @@ pub struct Refusal {
     /// Whether the profile supported inlining this edge (only hot refusals
     /// matter to the missing-edge organizer).
     pub hot: bool,
+    /// The inputs the inliner weighed when it declined (flight-recorder
+    /// provenance).
+    pub provenance: DecisionProvenance,
 }
 
 /// A performed inlining.
@@ -65,6 +70,9 @@ pub struct InlineDecision {
     pub callee: MethodId,
     /// Whether a method-test guard protects the inlined body.
     pub guarded: bool,
+    /// The inputs the inliner weighed when it inlined (flight-recorder
+    /// provenance).
+    pub provenance: DecisionProvenance,
 }
 
 /// The result of optimizing-compiling one method.

@@ -2,7 +2,7 @@
 //! the oracle at every call site with the current compilation context.
 
 use crate::config::OptConfig;
-use crate::decision::{Compilation, InlineDecision, Refusal, RefusalReason};
+use crate::decision::{Compilation, DecisionProvenance, InlineDecision, Refusal, RefusalReason};
 use crate::simplify;
 use aoci_core::InlineOracle;
 use aoci_ir::{
@@ -224,16 +224,38 @@ impl<'a> Emitter<'a> {
         end_jumps
     }
 
-    /// Decides whether `callee` may be inlined in context `ctx`.
+    /// The hard code-expansion ceiling of this compilation, in abstract
+    /// size units (recorded as `size_budget` provenance).
+    fn hard_budget(&self) -> u32 {
+        (self.config.hard_code_expansion * self.root_size as f64) as u32
+    }
+
+    /// Decides whether `callee` may be inlined in context `ctx`, returning
+    /// the verdict together with the provenance the flight recorder keeps:
+    /// whether a profile rule fired, its weight, and the depth/size state
+    /// the decision was taken under.
     fn decide(
         &self,
         callee: MethodId,
         ctx: &[CallSiteRef],
         depth: u32,
         stack: &[MethodId],
-    ) -> (Decision, bool) {
+    ) -> (Decision, DecisionProvenance) {
         let def = self.program.method(callee);
-        let hot = self.oracle.supports(ctx, callee);
+        let weight = self
+            .oracle
+            .candidates(ctx)
+            .iter()
+            .find(|c| c.target == callee)
+            .map(|c| c.weight);
+        let hot = weight.is_some();
+        let provenance = DecisionProvenance {
+            rule_fired: hot,
+            predicted_benefit: weight.unwrap_or(0.0),
+            context_depth: depth,
+            size_before: self.emitted_size,
+            size_budget: self.hard_budget(),
+        };
         let decision = (|| {
             if stack.contains(&callee) {
                 return Decision::Refuse(RefusalReason::Recursive);
@@ -249,10 +271,8 @@ impl<'a> Emitter<'a> {
             if depth >= self.config.hard_inline_depth {
                 return Decision::Refuse(RefusalReason::DepthExceeded);
             }
-            let hard_budget =
-                (self.config.hard_code_expansion * self.root_size as f64) as u32;
             let grown = self.emitted_size.saturating_add(def.size_estimate());
-            if grown > hard_budget {
+            if grown > self.hard_budget() {
                 return Decision::Refuse(RefusalReason::ExpansionExceeded);
             }
             let within_soft_depth = depth < self.config.max_inline_depth;
@@ -284,7 +304,7 @@ impl<'a> Emitter<'a> {
                 }
             }
         })();
-        (decision, hot)
+        (decision, provenance)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -301,13 +321,14 @@ impl<'a> Emitter<'a> {
         stack: &mut Vec<MethodId>,
     ) {
         let ctx = context(method, site, chain);
-        let (decision, hot) = self.decide(callee, &ctx, depth, stack);
+        let (decision, provenance) = self.decide(callee, &ctx, depth, stack);
         match decision {
             Decision::Inline => {
                 self.decisions.push(InlineDecision {
                     context: ctx.clone(),
                     callee,
                     guarded: false,
+                    provenance,
                 });
                 let end_jumps = self.splice(node, site, callee, args, dst, &ctx, depth, stack);
                 let end = self.out.len() as u32;
@@ -320,7 +341,8 @@ impl<'a> Emitter<'a> {
                     site: CallSiteRef::new(method, site),
                     callee,
                     reason,
-                    hot,
+                    hot: provenance.rule_fired,
+                    provenance,
                 });
                 self.push(node, Instr::CallStatic { site, dst, callee, args });
             }
@@ -348,13 +370,14 @@ impl<'a> Emitter<'a> {
         // statically and inlined unguarded (pre-existence).
         if let [only] = impls {
             let only = *only;
-            let (decision, hot) = self.decide(only, &ctx, depth, stack);
+            let (decision, provenance) = self.decide(only, &ctx, depth, stack);
             match decision {
                 Decision::Inline => {
                     self.decisions.push(InlineDecision {
                         context: ctx.clone(),
                         callee: only,
                         guarded: false,
+                        provenance,
                     });
                     let mut argv = Vec::with_capacity(args.len() + 1);
                     argv.push(recv);
@@ -370,7 +393,8 @@ impl<'a> Emitter<'a> {
                         site: CallSiteRef::new(method, site),
                         callee: only,
                         reason,
-                        hot,
+                        hot: provenance.rule_fired,
+                        provenance,
                     });
                     self.push(node, Instr::CallVirtual { site, dst, selector, recv, args });
                 }
@@ -380,28 +404,37 @@ impl<'a> Emitter<'a> {
 
         // Polymorphic: guarded inlining of profile-predicted targets.
         let candidates = self.oracle.candidates(&ctx);
-        let mut to_inline: Vec<MethodId> = Vec::new();
+        let mut to_inline: Vec<(MethodId, DecisionProvenance)> = Vec::new();
         for c in &candidates {
             // Defensive: only genuine implementations of this selector.
             if !impls.contains(&c.target) {
                 continue;
             }
             if to_inline.len() >= self.config.max_guarded_targets {
+                let provenance = DecisionProvenance {
+                    rule_fired: true,
+                    predicted_benefit: c.weight,
+                    context_depth: depth,
+                    size_before: self.emitted_size,
+                    size_budget: self.hard_budget(),
+                };
                 self.refusals.push(Refusal {
                     site: CallSiteRef::new(method, site),
                     callee: c.target,
                     reason: RefusalReason::GuardLimit,
                     hot: true,
+                    provenance,
                 });
                 continue;
             }
             match self.decide(c.target, &ctx, depth, stack) {
-                (Decision::Inline, _) => to_inline.push(c.target),
-                (Decision::Refuse(reason), hot) => self.refusals.push(Refusal {
+                (Decision::Inline, provenance) => to_inline.push((c.target, provenance)),
+                (Decision::Refuse(reason), provenance) => self.refusals.push(Refusal {
                     site: CallSiteRef::new(method, site),
                     callee: c.target,
                     reason,
-                    hot,
+                    hot: provenance.rule_fired,
+                    provenance,
                 }),
             }
         }
@@ -413,7 +446,7 @@ impl<'a> Emitter<'a> {
 
         let mut all_end_jumps: Vec<usize> = Vec::new();
         let mut pending_guard: Option<usize> = None;
-        for target in to_inline {
+        for (target, provenance) in to_inline {
             if let Some(g) = pending_guard.take() {
                 let here = self.out.len() as u32;
                 self.out[g].map_branch_target(|_| here);
@@ -427,6 +460,7 @@ impl<'a> Emitter<'a> {
                 context: ctx.clone(),
                 callee: target,
                 guarded: true,
+                provenance,
             });
             let mut argv = Vec::with_capacity(args.len() + 1);
             argv.push(recv);

@@ -7,6 +7,7 @@
 
 use crate::key::TraceKey;
 use aoci_ir::MethodId;
+use aoci_trace::{TraceEvent, TraceSink};
 use aoci_vm::StackSnapshot;
 
 /// Records the currently executing (machine-level) compiled method at every
@@ -105,12 +106,20 @@ pub struct TraceListener {
     samples_seen: u64,
     samples_recorded: u64,
     frames_walked: u64,
+    trace: Option<TraceSink>,
 }
 
 impl TraceListener {
     /// Creates an empty listener.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a flight-recorder sink; the listener emits a
+    /// [`TraceEvent::TraceWalk`] for every recorded call trace, timestamped
+    /// with the snapshot's simulated-cycle clock.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
     }
 
     /// Consumes one sample, collecting at most `max_context` caller levels
@@ -131,6 +140,12 @@ impl TraceListener {
             Some((callee, context)) => {
                 let walked = context.len() + 1;
                 self.frames_walked += walked as u64;
+                if let Some(t) = &self.trace {
+                    t.emit(
+                        snapshot.cycles,
+                        TraceEvent::TraceWalk { callee, depth: walked as u32 },
+                    );
+                }
                 self.buffer.push(TraceKey::new(callee, context));
                 self.samples_recorded += 1;
                 walked

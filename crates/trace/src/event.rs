@@ -1,0 +1,528 @@
+//! The typed event vocabulary of the flight recorder.
+
+use aoci_ir::{CallSiteRef, MethodId};
+use aoci_json::Value;
+use std::fmt::Write as _;
+
+/// Resolves a [`MethodId`] to a human-readable name (the trace crate has no
+/// access to the program; the embedding layer passes a closure over it).
+pub type Resolve<'a> = &'a dyn Fn(MethodId) -> String;
+
+/// Why the controller created a recompilation plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanReason {
+    /// The hot-methods organizer promoted the method past the sample
+    /// threshold.
+    HotMethod,
+    /// The missing-edge organizer found a hot, uninlined, unrefused rule
+    /// realizable by recompiling this host.
+    MissingEdge,
+    /// A failed compilation's backoff deadline expired.
+    Retry,
+    /// A hot baseline loop requested on-stack promotion.
+    OsrPromotion,
+}
+
+impl PlanReason {
+    /// Short stable label (used by both sinks).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanReason::HotMethod => "hot-method",
+            PlanReason::MissingEdge => "missing-edge",
+            PlanReason::Retry => "retry",
+            PlanReason::OsrPromotion => "osr-promotion",
+        }
+    }
+}
+
+/// Why the driver denied an OSR promotion request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OsrDenyReason {
+    /// The method is quarantined from optimizing compilation.
+    Quarantined,
+    /// The method's recompile budget is exhausted.
+    Budget,
+    /// The optimized body keeps no OSR entry point at the requested loop
+    /// header.
+    NoEntryPoint,
+    /// The on-the-spot compilation faulted (injected failure).
+    CompileFault,
+}
+
+impl OsrDenyReason {
+    /// Short stable label (used by both sinks).
+    pub fn label(self) -> &'static str {
+        match self {
+            OsrDenyReason::Quarantined => "quarantined",
+            OsrDenyReason::Budget => "recompile-budget",
+            OsrDenyReason::NoEntryPoint => "no-entry-point",
+            OsrDenyReason::CompileFault => "compile-fault",
+        }
+    }
+}
+
+/// The injected-fault kinds the adversary can deliver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A compilation aborted partway through.
+    CompileBailout,
+    /// A compilation completed but was rejected as oversized.
+    CompileOversize,
+    /// A drained profile trace was corrupted before sanitization.
+    CorruptTrace,
+    /// A timer sample's payload was lost before the listeners.
+    DroppedSample,
+    /// A burst of synthetic guard misses against an optimized method.
+    ReceiverBurst,
+}
+
+impl FaultKind {
+    /// Short stable label (used by both sinks).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::CompileBailout => "compile-bailout",
+            FaultKind::CompileOversize => "compile-oversize",
+            FaultKind::CorruptTrace => "corrupt-trace",
+            FaultKind::DroppedSample => "dropped-sample",
+            FaultKind::ReceiverBurst => "receiver-burst",
+        }
+    }
+}
+
+/// The facts the inliner weighed at one call-site decision — the
+/// provenance attached to every inline decision and refusal, recorded by
+/// `aoci-opt` and carried into the flight recorder unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DecisionProvenance {
+    /// Whether a profile-derived inlining rule supported this edge in the
+    /// compilation context presented to the oracle.
+    pub rule_fired: bool,
+    /// Aggregate profile weight backing the prediction (0 when no rule
+    /// fired).
+    pub predicted_benefit: f64,
+    /// Inline depth at the decision point (0 = a call site in the root
+    /// body).
+    pub context_depth: u32,
+    /// Abstract code size already emitted when the decision was taken.
+    pub size_before: u32,
+    /// The hard code-expansion budget the compilation ran under.
+    pub size_budget: u32,
+}
+
+/// One flight-recorder event. Every variant is timestamped by the ring
+/// buffer with the simulated-cycle clock at emission.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A timer sample was taken (`dropped` when injected sampler dropout
+    /// discarded its payload before the listeners).
+    SampleTick {
+        /// Running sample count (1-based).
+        tick: u64,
+        /// The sampled (machine-level) root method.
+        method: MethodId,
+        /// Whether the sample landed in a method prologue.
+        in_prologue: bool,
+        /// Whether the payload was lost to injected sampler dropout.
+        dropped: bool,
+    },
+    /// The trace listener recorded a context-sensitive call trace.
+    TraceWalk {
+        /// The sampled callee the trace starts from.
+        callee: MethodId,
+        /// Stack frames walked (callee + caller levels collected).
+        depth: u32,
+    },
+    /// A method crossed the hotness threshold in the hot-methods organizer.
+    HotMethod {
+        /// The newly hot method.
+        method: MethodId,
+        /// Its accumulated method-listener samples.
+        samples: u32,
+    },
+    /// The controller created a recompilation plan.
+    RecompilePlan {
+        /// The method to be (re)compiled.
+        method: MethodId,
+        /// Which organizer/path requested it.
+        reason: PlanReason,
+    },
+    /// The optimizing compiler inlined a callee.
+    InlineDecision {
+        /// The method whose compilation made the decision.
+        host: MethodId,
+        /// The source-level call site.
+        site: CallSiteRef,
+        /// The inlined callee.
+        callee: MethodId,
+        /// Whether a method-test guard protects the inlined body.
+        guarded: bool,
+        /// Why: the inputs the inliner weighed.
+        provenance: DecisionProvenance,
+    },
+    /// The optimizing compiler declined an inlining opportunity.
+    InlineRefusal {
+        /// The method whose compilation made the decision.
+        host: MethodId,
+        /// The source-level call site.
+        site: CallSiteRef,
+        /// The callee that was not inlined.
+        callee: MethodId,
+        /// The refusal reason, as rendered by `aoci-opt`.
+        reason: String,
+        /// Whether the profile supported inlining this edge.
+        hot: bool,
+        /// The inputs the inliner weighed.
+        provenance: DecisionProvenance,
+    },
+    /// An optimizing compilation completed.
+    Compile {
+        /// The compiled method.
+        method: MethodId,
+        /// Abstract size of the generated code.
+        generated_size: u32,
+        /// Inlinings performed.
+        inlines: u32,
+        /// Of which guarded.
+        guarded: u32,
+        /// Simulated cycles charged to the compilation thread.
+        cycles: u64,
+    },
+    /// An optimized version was installed in the code registry.
+    Install {
+        /// The method whose slot was filled.
+        method: MethodId,
+        /// The registry-assigned version id.
+        version_id: u32,
+    },
+    /// An optimized version was invalidated for guard thrash.
+    Invalidate {
+        /// The method falling back to baseline.
+        method: MethodId,
+    },
+    /// A method was quarantined from optimizing compilation.
+    Quarantine {
+        /// The blocked method.
+        method: MethodId,
+    },
+    /// A failed compilation was scheduled for retry after backoff.
+    RetryScheduled {
+        /// The method awaiting retry.
+        method: MethodId,
+        /// The simulated cycle at which the retry becomes due.
+        due_cycle: u64,
+    },
+    /// A profile trace was rejected by sanitization at the store boundary.
+    TraceRejected,
+    /// An inline guard missed into its fallback path.
+    GuardMiss {
+        /// The compiled host method executing the guard.
+        method: MethodId,
+        /// The pc of the guard in the optimized body.
+        pc: u32,
+    },
+    /// A hot baseline loop requested on-stack promotion.
+    OsrRequest {
+        /// The method whose activation is hot.
+        method: MethodId,
+        /// The loop header (source pc) the activation is parked on.
+        loop_header: u32,
+    },
+    /// The driver denied an OSR promotion request.
+    OsrDeny {
+        /// The method whose request was denied.
+        method: MethodId,
+        /// Why.
+        reason: OsrDenyReason,
+    },
+    /// OSR-in: a baseline activation was promoted into optimized code.
+    OsrEnter {
+        /// The promoted method.
+        method: MethodId,
+        /// The loop header the transfer happened at.
+        loop_header: u32,
+    },
+    /// OSR-out: an optimized activation deoptimized back to baseline.
+    OsrExit {
+        /// The deoptimized method.
+        method: MethodId,
+        /// The optimized pc the exit point mapped from.
+        opt_pc: u32,
+    },
+    /// The fault injector delivered a fault.
+    FaultInjected {
+        /// What was injected.
+        kind: FaultKind,
+    },
+    /// The VM raised an execution fault (the run is about to abort).
+    VmFault {
+        /// The rendered `VmError`.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type name (the Chrome `name` field; also the first
+    /// token of the rendered line).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SampleTick { .. } => "sample-tick",
+            TraceEvent::TraceWalk { .. } => "trace-walk",
+            TraceEvent::HotMethod { .. } => "hot-method",
+            TraceEvent::RecompilePlan { .. } => "recompile-plan",
+            TraceEvent::InlineDecision { .. } => "inline-decision",
+            TraceEvent::InlineRefusal { .. } => "inline-refusal",
+            TraceEvent::Compile { .. } => "compile",
+            TraceEvent::Install { .. } => "install",
+            TraceEvent::Invalidate { .. } => "invalidate",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::RetryScheduled { .. } => "retry-scheduled",
+            TraceEvent::TraceRejected => "trace-rejected",
+            TraceEvent::GuardMiss { .. } => "guard-miss",
+            TraceEvent::OsrRequest { .. } => "osr-request",
+            TraceEvent::OsrDeny { .. } => "osr-deny",
+            TraceEvent::OsrEnter { .. } => "osr-enter",
+            TraceEvent::OsrExit { .. } => "osr-exit",
+            TraceEvent::FaultInjected { .. } => "fault-injected",
+            TraceEvent::VmFault { .. } => "vm-fault",
+        }
+    }
+
+    /// The emitting layer (the Chrome `cat` field and lane name).
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::SampleTick { .. } | TraceEvent::TraceWalk { .. } => "profile",
+            TraceEvent::HotMethod { .. } | TraceEvent::RecompilePlan { .. } => "controller",
+            TraceEvent::InlineDecision { .. }
+            | TraceEvent::InlineRefusal { .. }
+            | TraceEvent::Compile { .. }
+            | TraceEvent::Install { .. } => "compiler",
+            TraceEvent::GuardMiss { .. } | TraceEvent::VmFault { .. } => "vm",
+            TraceEvent::OsrRequest { .. }
+            | TraceEvent::OsrDeny { .. }
+            | TraceEvent::OsrEnter { .. }
+            | TraceEvent::OsrExit { .. } => "osr",
+            TraceEvent::Invalidate { .. }
+            | TraceEvent::Quarantine { .. }
+            | TraceEvent::RetryScheduled { .. }
+            | TraceEvent::TraceRejected
+            | TraceEvent::FaultInjected { .. } => "recovery",
+        }
+    }
+
+    /// The Chrome lane (`tid`) of this event's category. Lanes and their
+    /// metadata names are listed in [`crate::recorder::TraceLog::to_chrome_value`].
+    pub(crate) fn tid(&self) -> u32 {
+        match self.category() {
+            "profile" => 1,
+            "controller" => 2,
+            "compiler" => 3,
+            "vm" => 4,
+            "osr" => 5,
+            _ => 6, // recovery
+        }
+    }
+
+    /// The event's payload as deterministic key/value pairs — the Chrome
+    /// `args` object, and the `key=value` tokens of the rendered line.
+    pub fn args(&self, resolve: Resolve) -> Vec<(&'static str, Value)> {
+        fn m(resolve: Resolve, id: MethodId) -> Value {
+            Value::from(resolve(id))
+        }
+        fn prov(p: &DecisionProvenance) -> Vec<(&'static str, Value)> {
+            vec![
+                ("rule_fired", Value::Bool(p.rule_fired)),
+                ("predicted_benefit", Value::from(p.predicted_benefit)),
+                ("context_depth", Value::from(p.context_depth)),
+                ("size_before", Value::from(p.size_before)),
+                ("size_budget", Value::from(p.size_budget)),
+            ]
+        }
+        match self {
+            TraceEvent::SampleTick { tick, method, in_prologue, dropped } => vec![
+                ("tick", Value::from(*tick)),
+                ("method", m(resolve, *method)),
+                ("in_prologue", Value::Bool(*in_prologue)),
+                ("dropped", Value::Bool(*dropped)),
+            ],
+            TraceEvent::TraceWalk { callee, depth } => vec![
+                ("callee", m(resolve, *callee)),
+                ("depth", Value::from(*depth)),
+            ],
+            TraceEvent::HotMethod { method, samples } => vec![
+                ("method", m(resolve, *method)),
+                ("samples", Value::from(*samples)),
+            ],
+            TraceEvent::RecompilePlan { method, reason } => vec![
+                ("method", m(resolve, *method)),
+                ("reason", Value::from(reason.label())),
+            ],
+            TraceEvent::InlineDecision { host, site, callee, guarded, provenance } => {
+                let mut v = vec![
+                    ("host", m(resolve, *host)),
+                    ("site", Value::from(site.to_string())),
+                    ("callee", m(resolve, *callee)),
+                    ("inlined", Value::Bool(true)),
+                    ("guarded", Value::Bool(*guarded)),
+                ];
+                v.extend(prov(provenance));
+                v
+            }
+            TraceEvent::InlineRefusal { host, site, callee, reason, hot, provenance } => {
+                let mut v = vec![
+                    ("host", m(resolve, *host)),
+                    ("site", Value::from(site.to_string())),
+                    ("callee", m(resolve, *callee)),
+                    ("inlined", Value::Bool(false)),
+                    ("reason", Value::from(reason.clone())),
+                    ("hot", Value::Bool(*hot)),
+                ];
+                v.extend(prov(provenance));
+                v
+            }
+            TraceEvent::Compile { method, generated_size, inlines, guarded, cycles } => vec![
+                ("method", m(resolve, *method)),
+                ("generated_size", Value::from(*generated_size)),
+                ("inlines", Value::from(*inlines)),
+                ("guarded", Value::from(*guarded)),
+                ("cycles", Value::from(*cycles)),
+            ],
+            TraceEvent::Install { method, version_id } => vec![
+                ("method", m(resolve, *method)),
+                ("version_id", Value::from(*version_id)),
+            ],
+            TraceEvent::Invalidate { method } => vec![("method", m(resolve, *method))],
+            TraceEvent::Quarantine { method } => vec![("method", m(resolve, *method))],
+            TraceEvent::RetryScheduled { method, due_cycle } => vec![
+                ("method", m(resolve, *method)),
+                ("due_cycle", Value::from(*due_cycle)),
+            ],
+            TraceEvent::TraceRejected => vec![],
+            TraceEvent::GuardMiss { method, pc } => vec![
+                ("method", m(resolve, *method)),
+                ("pc", Value::from(*pc)),
+            ],
+            TraceEvent::OsrRequest { method, loop_header } => vec![
+                ("method", m(resolve, *method)),
+                ("loop_header", Value::from(*loop_header)),
+            ],
+            TraceEvent::OsrDeny { method, reason } => vec![
+                ("method", m(resolve, *method)),
+                ("reason", Value::from(reason.label())),
+            ],
+            TraceEvent::OsrEnter { method, loop_header } => vec![
+                ("method", m(resolve, *method)),
+                ("loop_header", Value::from(*loop_header)),
+            ],
+            TraceEvent::OsrExit { method, opt_pc } => vec![
+                ("method", m(resolve, *method)),
+                ("opt_pc", Value::from(*opt_pc)),
+            ],
+            TraceEvent::FaultInjected { kind } => vec![("kind", Value::from(kind.label()))],
+            TraceEvent::VmFault { message } => vec![("message", Value::from(message.clone()))],
+        }
+    }
+
+    /// Renders the event as one deterministic human-readable line:
+    /// `kind key=value key=value …`.
+    pub fn render(&self, resolve: Resolve) -> String {
+        let mut line = self.kind().to_string();
+        for (key, value) in self.args(resolve) {
+            let _ = write!(line, " {key}={}", aoci_json::to_string(&value));
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_ir::SiteIdx;
+
+    fn resolve(m: MethodId) -> String {
+        format!("M{}", m.index())
+    }
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let site = CallSiteRef::new(MethodId::from_index(0), SiteIdx(1));
+        let events = [
+            TraceEvent::SampleTick {
+                tick: 1,
+                method: MethodId::from_index(0),
+                in_prologue: true,
+                dropped: false,
+            },
+            TraceEvent::TraceWalk { callee: MethodId::from_index(1), depth: 2 },
+            TraceEvent::HotMethod { method: MethodId::from_index(1), samples: 3 },
+            TraceEvent::RecompilePlan {
+                method: MethodId::from_index(1),
+                reason: PlanReason::HotMethod,
+            },
+            TraceEvent::InlineDecision {
+                host: MethodId::from_index(1),
+                site,
+                callee: MethodId::from_index(2),
+                guarded: true,
+                provenance: DecisionProvenance::default(),
+            },
+            TraceEvent::InlineRefusal {
+                host: MethodId::from_index(1),
+                site,
+                callee: MethodId::from_index(2),
+                reason: "callee too large".to_string(),
+                hot: true,
+                provenance: DecisionProvenance::default(),
+            },
+            TraceEvent::Compile {
+                method: MethodId::from_index(1),
+                generated_size: 10,
+                inlines: 1,
+                guarded: 0,
+                cycles: 99,
+            },
+            TraceEvent::Install { method: MethodId::from_index(1), version_id: 7 },
+            TraceEvent::GuardMiss { method: MethodId::from_index(1), pc: 5 },
+            TraceEvent::OsrEnter { method: MethodId::from_index(1), loop_header: 0 },
+            TraceEvent::FaultInjected { kind: FaultKind::CorruptTrace },
+            TraceEvent::VmFault { message: "boom".to_string() },
+        ];
+        let kinds: std::collections::BTreeSet<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), events.len(), "kind strings must be distinct");
+        assert!(kinds.contains("inline-decision"));
+        assert!(kinds.contains("sample-tick"));
+    }
+
+    #[test]
+    fn render_carries_provenance() {
+        let e = TraceEvent::InlineDecision {
+            host: MethodId::from_index(4),
+            site: CallSiteRef::new(MethodId::from_index(4), SiteIdx(3)),
+            callee: MethodId::from_index(9),
+            guarded: false,
+            provenance: DecisionProvenance {
+                rule_fired: true,
+                predicted_benefit: 2.5,
+                context_depth: 1,
+                size_before: 120,
+                size_budget: 960,
+            },
+        };
+        let line = e.render(&resolve);
+        assert!(line.starts_with("inline-decision "), "{line}");
+        assert!(line.contains("host=\"M4\""), "{line}");
+        assert!(line.contains("rule_fired=true"), "{line}");
+        assert!(line.contains("size_budget=960"), "{line}");
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let e = TraceEvent::Compile {
+            method: MethodId::from_index(2),
+            generated_size: 64,
+            inlines: 3,
+            guarded: 1,
+            cycles: 1234,
+        };
+        assert_eq!(e.render(&resolve), e.render(&resolve));
+    }
+}

@@ -1,0 +1,208 @@
+//! The ring-buffer flight recorder and its shared handle.
+
+use crate::event::{Resolve, TraceEvent};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Flight-recorder tunables.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Ring capacity: the recorder keeps the most recent this-many events,
+    /// dropping the oldest (drops are counted, never silent).
+    pub capacity: usize,
+    /// How many trailing events the AOS copies into its recovery ledger
+    /// when recovery or a VM fault fires.
+    pub dump_last: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 8192, dump_last: 32 }
+    }
+}
+
+/// One recorded event: a monotone sequence number, the simulated-cycle
+/// timestamp at emission, and the typed payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recorded {
+    /// Emission order (0-based, monotone over the whole run — survives ring
+    /// truncation, so gaps at the front reveal dropped history).
+    pub seq: u64,
+    /// Simulated cycles at emission (never wall-clock time).
+    pub cycle: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// The fixed-capacity ring buffer behind a [`TraceSink`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    config: TraceConfig,
+    ring: VecDeque<Recorded>,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates an empty recorder.
+    pub fn new(config: TraceConfig) -> Self {
+        let cap = config.capacity;
+        FlightRecorder { config, ring: VecDeque::with_capacity(cap.min(8192)), emitted: 0, dropped: 0 }
+    }
+
+    /// Records `event` at simulated cycle `cycle`, evicting the oldest
+    /// entry when the ring is full.
+    pub fn emit(&mut self, cycle: u64, event: TraceEvent) {
+        let seq = self.emitted;
+        self.emitted += 1;
+        if self.config.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() >= self.config.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Recorded { seq, cycle, event });
+    }
+
+    /// Events emitted over the recorder's lifetime (including dropped ones).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Events evicted from the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Snapshots the retained events and counters into an owned log.
+    pub fn log(&self) -> TraceLog {
+        TraceLog {
+            events: self.ring.iter().cloned().collect(),
+            emitted: self.emitted,
+            dropped: self.dropped,
+        }
+    }
+
+    /// Renders the last `n` retained events, oldest first.
+    pub fn last_rendered(&self, n: usize, resolve: Resolve) -> Vec<String> {
+        let skip = self.ring.len().saturating_sub(n);
+        self.ring
+            .iter()
+            .skip(skip)
+            .map(|r| format!("#{} @{} {}", r.seq, r.cycle, r.event.render(resolve)))
+            .collect()
+    }
+}
+
+/// A cheaply-cloneable handle to one [`FlightRecorder`], shared by every
+/// emitting layer (VM, listeners, driver) of a single-threaded AOS run.
+///
+/// Emitting through the sink charges **no simulated cycles** and touches no
+/// wall clock, so a traced run is metrically identical to an untraced one.
+#[derive(Clone, Debug)]
+pub struct TraceSink {
+    recorder: Rc<RefCell<FlightRecorder>>,
+}
+
+impl TraceSink {
+    /// Creates a sink over a fresh recorder.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceSink { recorder: Rc::new(RefCell::new(FlightRecorder::new(config))) }
+    }
+
+    /// Records `event` at simulated cycle `cycle`.
+    pub fn emit(&self, cycle: u64, event: TraceEvent) {
+        self.recorder.borrow_mut().emit(cycle, event);
+    }
+
+    /// Snapshots the current log.
+    pub fn log(&self) -> TraceLog {
+        self.recorder.borrow().log()
+    }
+
+    /// Renders the last `n` retained events, oldest first (the dump the AOS
+    /// attaches to its recovery ledger).
+    pub fn dump_last(&self, n: usize, resolve: Resolve) -> Vec<String> {
+        self.recorder.borrow().last_rendered(n, resolve)
+    }
+}
+
+/// An owned snapshot of the flight recorder: the retained events plus
+/// lifetime counters. Produced by [`TraceSink::log`]; consumed by the
+/// export sinks in [`crate::sinks`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceLog {
+    /// Retained events, oldest first.
+    pub events: Vec<Recorded>,
+    /// Events emitted over the run (including dropped ones).
+    pub emitted: u64,
+    /// Events evicted from the ring (emitted − retained).
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aoci_ir::MethodId;
+
+    fn tick(n: u64) -> TraceEvent {
+        TraceEvent::SampleTick {
+            tick: n,
+            method: MethodId::from_index(0),
+            in_prologue: false,
+            dropped: false,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = FlightRecorder::new(TraceConfig { capacity: 3, dump_last: 2 });
+        for n in 0..5 {
+            r.emit(n * 10, tick(n));
+        }
+        let log = r.log();
+        assert_eq!(log.emitted, 5);
+        assert_eq!(log.dropped, 2);
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events[0].seq, 2, "oldest retained event is #2");
+        assert_eq!(log.events[2].seq, 4);
+        assert_eq!(log.events[2].cycle, 40);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut r = FlightRecorder::new(TraceConfig { capacity: 0, dump_last: 0 });
+        r.emit(1, tick(0));
+        assert_eq!(r.emitted(), 1);
+        assert_eq!(r.dropped(), 1);
+        assert!(r.log().events.is_empty());
+    }
+
+    #[test]
+    fn sink_clones_share_one_ring() {
+        let a = TraceSink::new(TraceConfig::default());
+        let b = a.clone();
+        a.emit(5, tick(0));
+        b.emit(6, tick(1));
+        let log = a.log();
+        assert_eq!(log.emitted, 2);
+        assert_eq!(log.events[0].cycle, 5);
+        assert_eq!(log.events[1].cycle, 6);
+    }
+
+    #[test]
+    fn dump_last_takes_the_tail() {
+        let sink = TraceSink::new(TraceConfig { capacity: 10, dump_last: 2 });
+        for n in 0..4 {
+            sink.emit(n, tick(n));
+        }
+        let resolve = |m: MethodId| format!("m{}", m.index());
+        let dump = sink.dump_last(2, &resolve);
+        assert_eq!(dump.len(), 2);
+        assert!(dump[0].starts_with("#2 @2 sample-tick"), "{}", dump[0]);
+        assert!(dump[1].starts_with("#3 @3 sample-tick"), "{}", dump[1]);
+    }
+}

@@ -10,6 +10,7 @@ use crate::registry::CodeRegistry;
 use crate::stack::{SourceFrame, StackSnapshot};
 use crate::value::Value;
 use aoci_ir::{BinOp, Cond, Instr, MethodId, Program, Reg};
+use aoci_trace::{TraceEvent, TraceSink};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -197,6 +198,9 @@ pub struct Vm<'p> {
     /// baseline version it falls back to is cached here rather than
     /// clobbering the installed code.
     deopt_baseline: HashMap<MethodId, Arc<MethodVersion>>,
+    /// Flight recorder for guard-miss and OSR-transition events. `None`
+    /// (the default) skips every emit site with a single branch.
+    trace: Option<TraceSink>,
 }
 
 impl<'p> Vm<'p> {
@@ -225,7 +229,15 @@ impl<'p> Vm<'p> {
             pending_osr: None,
             osr_suppressed: HashSet::new(),
             deopt_baseline: HashMap::new(),
+            trace: None,
         }
+    }
+
+    /// Attaches a flight-recorder sink; the VM emits guard-miss and
+    /// OSR-transition events through it, timestamped with the simulated
+    /// clock (emission itself charges no cycles).
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
     }
 
     /// Returns the dynamic execution counters.
@@ -595,6 +607,12 @@ impl<'p> Vm<'p> {
                     self.counters.guard_misses += 1;
                     self.guard_stats[method.index()].misses += 1;
                     next_pc = else_target as usize;
+                    if let Some(t) = &self.trace {
+                        t.emit(
+                            self.clock.total(),
+                            TraceEvent::GuardMiss { method, pc: pc as u32 },
+                        );
+                    }
                 }
                 self.note_guard(pass);
             }
@@ -613,6 +631,12 @@ impl<'p> Vm<'p> {
                     self.counters.guard_misses += 1;
                     self.guard_stats[method.index()].misses += 1;
                     next_pc = else_target as usize;
+                    if let Some(t) = &self.trace {
+                        t.emit(
+                            self.clock.total(),
+                            TraceEvent::GuardMiss { method, pc: pc as u32 },
+                        );
+                    }
                 }
                 self.note_guard(pass);
             }
@@ -802,6 +826,12 @@ impl<'p> Vm<'p> {
                 self.counters.osr_exits += 1;
                 self.clock
                     .charge(Component::Osr, self.cost.osr_transfer_cost(point.slots.len()));
+                if let Some(t) = &self.trace {
+                    t.emit(
+                        self.clock.total(),
+                        TraceEvent::OsrExit { method: version.method, opt_pc },
+                    );
+                }
             }
             Err(_) => {
                 frame.pc = opt_pc as usize;
@@ -846,6 +876,12 @@ impl<'p> Vm<'p> {
         self.counters.osr_entries += 1;
         self.clock.charge(Component::Osr, self.cost.osr_transfer_cost(slots));
         self.backedge_counts.remove(&(version.method, loop_header));
+        if let Some(t) = &self.trace {
+            t.emit(
+                self.clock.total(),
+                TraceEvent::OsrEnter { method: version.method, loop_header },
+            );
+        }
         true
     }
 

@@ -10,7 +10,7 @@
 //! The fault seed comes from `AOCI_ORACLE_SEED` (default 1), so a CI matrix
 //! can sweep seeds without touching the code.
 
-use aoci_aos::{AosConfig, AosReport, AosSystem, FaultConfig, OsrEvents};
+use aoci_aos::{AosConfig, AosReport, AosSystem, FaultConfig, OsrEvents, TraceConfig};
 use aoci_core::PolicyKind;
 use aoci_vm::{CostModel, Value, Vm, COMPONENTS};
 use aoci_workloads::{build, spec_by_name, WorkloadSpec};
@@ -156,6 +156,58 @@ fn oracle_jack() {
 #[test]
 fn oracle_jbb() {
     check_workload("jbb", &[PolicyKind::Fixed { max: 3 }]);
+}
+
+/// The flight recorder through the oracle: a same-seed rerun of a traced
+/// configuration must emit a **bit-identical event stream** — same events,
+/// same order, same simulated-cycle timestamps, same rendered bytes — and
+/// turning the recorder on must not change a single metric relative to an
+/// untraced run of the same configuration.
+#[test]
+fn oracle_traced_reruns_are_bit_identical() {
+    let seed = oracle_seed();
+    let w = build(&small("compress"));
+    let resolve = |m: aoci_ir::MethodId| w.program.method(m).name().to_string();
+    // OSR + chaos faults on, so the stream covers promotion, denial,
+    // recovery and injection events, not just the steady-state loop.
+    let traced = |policy| {
+        let mut c = config(policy, true, Some(FaultConfig::chaos(seed)));
+        c.trace = Some(TraceConfig::default());
+        c
+    };
+    for policy in ALL_POLICIES {
+        let what = format!("traced compress/{policy}/seed={seed}");
+        let a = run(&w.program, traced(policy));
+        let b = run(&w.program, traced(policy));
+        assert_identical(&a, &b, &what);
+
+        let (log_a, log_b) = (a.trace_log.as_ref().unwrap(), b.trace_log.as_ref().unwrap());
+        assert_eq!(log_a.emitted, log_b.emitted, "{what}: emitted counts diverged");
+        assert_eq!(log_a.dropped, log_b.dropped, "{what}: dropped counts diverged");
+        assert_eq!(
+            log_a.render_lines(&resolve),
+            log_b.render_lines(&resolve),
+            "{what}: rendered event streams diverged"
+        );
+        assert_eq!(
+            log_a.to_chrome_string(&resolve),
+            log_b.to_chrome_string(&resolve),
+            "{what}: Chrome exports diverged"
+        );
+        assert!(
+            log_a.kinds().len() >= 6,
+            "{what}: expected >= 6 distinct event kinds, got {:?}",
+            log_a.kinds()
+        );
+
+        // Zero-overhead: the traced run's metrics equal the untraced run's.
+        // Only the post-mortem dump (which an untraced run cannot carry)
+        // differs; every measured quantity must agree.
+        let untraced = run(&w.program, config(policy, true, Some(FaultConfig::chaos(seed))));
+        let mut scrubbed = a.clone();
+        scrubbed.recovery.trace_dump.clear();
+        assert_identical(&scrubbed, &untraced, &format!("{what} vs untraced"));
+    }
 }
 
 /// The Figure 1 motivating example through the same oracle.
