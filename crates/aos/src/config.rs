@@ -65,6 +65,32 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Tunables of the simulated asynchronous background-compilation pool (the
+/// paper's — and Jikes RVM's — compilation *thread*, modelled in
+/// deterministic simulated time). Absent (`AosConfig::async_compile =
+/// None`, the default), every plan compiles synchronously inside its epoch
+/// tick, bit-identical to the system before this subsystem existed.
+#[derive(Clone, Debug)]
+pub struct AsyncCompileConfig {
+    /// Simulated compiler workers: how many plans can be in flight at once.
+    pub workers: usize,
+    /// Bounded priority-queue capacity; a plan arriving at a full queue
+    /// evicts the lowest-priority resident (or is itself dropped when it
+    /// *is* the lowest) — the backpressure counter records either way.
+    pub queue_capacity: usize,
+    /// Degenerate mode: every dispatched compile completes at dispatch,
+    /// with its full cost charged as foreground stall. With one worker this
+    /// reproduces legacy synchronous metrics bit-identically (the
+    /// degenerate-equivalence oracle asserts it).
+    pub zero_latency: bool,
+}
+
+impl Default for AsyncCompileConfig {
+    fn default() -> Self {
+        AsyncCompileConfig { workers: 2, queue_capacity: 16, zero_latency: false }
+    }
+}
+
 /// Which profile-data representation backs the dynamic call graph.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ProfileBackend {
@@ -107,6 +133,13 @@ pub struct AosConfig {
     /// Upper bound on optimizing recompilations of a single method
     /// (bounds recompilation churn from the missing-edge organizer).
     pub max_recompiles_per_method: u32,
+    /// Upper bound on compilations *started* per epoch tick. In legacy
+    /// synchronous mode this caps the stop-the-world pause a burst of hot
+    /// methods can charge to one tick (leftover plans stay queued for the
+    /// next); in async mode it caps dispatches per pump. The default
+    /// (`u32::MAX`) preserves the historical drain-everything behaviour
+    /// byte-identically.
+    pub max_compiles_per_epoch: u32,
     /// Inliner budgets.
     pub opt: OptConfig,
     /// Adaptive-resolving policy tunables.
@@ -135,6 +168,10 @@ pub struct AosConfig {
     /// simulated cycles — a traced run produces exactly the metrics of an
     /// untraced one.
     pub trace: Option<TraceConfig>,
+    /// Asynchronous background compilation; `None` (the default) compiles
+    /// every plan synchronously inside its epoch tick, bit-identical to
+    /// the pre-async system.
+    pub async_compile: Option<AsyncCompileConfig>,
 }
 
 impl AosConfig {
@@ -150,6 +187,7 @@ impl AosConfig {
             decay_factor: 0.95,
             missing_edge_period_samples: 24,
             max_recompiles_per_method: 4,
+            max_compiles_per_epoch: u32::MAX,
             opt: OptConfig::default(),
             adaptive: AdaptiveConfig::default(),
             dcg: DcgConfig::default(),
@@ -162,6 +200,7 @@ impl AosConfig {
             recovery: RecoveryConfig::default(),
             fault: None,
             trace: None,
+            async_compile: None,
         }
     }
 
@@ -187,6 +226,17 @@ impl AosConfig {
     pub fn with_trace(policy: PolicyKind) -> Self {
         let mut config = Self::new(policy);
         config.trace = Some(TraceConfig::default());
+        config
+    }
+
+    /// Default configuration for a given policy with asynchronous
+    /// background compilation on: plans queue by predicted benefit, a
+    /// simulated worker pool compiles them while the application keeps
+    /// executing baseline or stale code, and only the unoverlapped
+    /// remainder of each compile stalls the virtual clock.
+    pub fn with_async_compile(policy: PolicyKind) -> Self {
+        let mut config = Self::new(policy);
+        config.async_compile = Some(AsyncCompileConfig::default());
         config
     }
 }

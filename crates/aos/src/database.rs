@@ -82,7 +82,11 @@ impl AosDatabase {
         let entry = self.inlined.entry(method).or_default();
         entry.clear();
         for d in &compilation.decisions {
-            let site = d.context.first().copied().expect("decision has a context");
+            // The emitter always seeds a decision's context with its own
+            // call site, but the database must not trust that invariant: a
+            // malformed record (e.g. a compiler bug or a hand-built
+            // compilation) is skipped, not a panic that takes the run down.
+            let Some(&site) = d.context.first() else { continue };
             entry.insert((site, d.callee));
             self.decision_log.push((method, d.clone()));
         }
@@ -254,6 +258,36 @@ mod tests {
         assert_eq!(db.recompiles(mid(0)), 1);
         assert_eq!(db.decision_log().len(), 1);
         assert_eq!(db.refusal_log().len(), 2);
+    }
+
+    #[test]
+    fn empty_context_decision_is_skipped_not_a_panic() {
+        let mut db = AosDatabase::new();
+        let c = compilation(
+            vec![
+                InlineDecision {
+                    context: vec![], // malformed: no call site at all
+                    callee: mid(1),
+                    guarded: false,
+                    provenance: Default::default(),
+                },
+                InlineDecision {
+                    context: vec![cs(0, 0)],
+                    callee: mid(2),
+                    guarded: false,
+                    provenance: Default::default(),
+                },
+            ],
+            vec![],
+        );
+        db.record_compilation(mid(0), &c, 1);
+        // The malformed record is dropped; the well-formed one is kept and
+        // the compilation itself is still logged.
+        assert!(db.is_optimized(mid(0)));
+        assert!(!db.inlines_method(mid(0), mid(1)));
+        assert!(db.has_inlined(mid(0), cs(0, 0), mid(2)));
+        assert_eq!(db.decision_log().len(), 1);
+        assert_eq!(db.compilation_log().len(), 1);
     }
 
     #[test]

@@ -75,9 +75,9 @@ mod fault;
 mod report;
 mod system;
 
-pub use config::{AosConfig, ProfileBackend, RecoveryConfig};
+pub use config::{AosConfig, AsyncCompileConfig, ProfileBackend, RecoveryConfig};
 pub use database::{AosDatabase, CompilationRecord};
 pub use fault::{CompileFault, FaultConfig, FaultInjector, InjectedFaults, TraceCorruption};
 pub use aoci_trace::{TraceConfig, TraceEvent, TraceLog};
-pub use report::{AosReport, OsrEvents, RecoveryEvents};
+pub use report::{AosReport, AsyncCompileEvents, OsrEvents, RecoveryEvents};
 pub use system::{AosSystem, FullRunResult};

@@ -134,6 +134,68 @@ impl OsrEvents {
     }
 }
 
+/// Background-compilation activity of a run: queue traffic, staleness
+/// drops, backpressure, and the overlap/stall split of compile cycles. All
+/// zeros when asynchronous compilation is disabled (the default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AsyncCompileEvents {
+    /// Plans accepted into the priority queue.
+    pub enqueued: u64,
+    /// Plans handed to a worker (includes compiles that later faulted).
+    pub dispatched: u64,
+    /// Compiles that ran to completion (installed, or booked as a failure).
+    pub completed: u64,
+    /// Plans dropped at dequeue because the world moved on while they
+    /// waited: quarantined, already recompiled, or no longer hot.
+    pub stale_drops: u64,
+    /// Plans dropped (incoming or evicted) because the bounded queue was
+    /// full — the backpressure counter.
+    pub queue_full_drops: u64,
+    /// Compiles still in flight when the program finished; their work is
+    /// abandoned, not installed.
+    pub abandoned_in_flight: u64,
+    /// High-water mark of the pending queue.
+    pub max_queue_depth: u64,
+    /// Compile cycles that overlapped application execution (the win from
+    /// going asynchronous: the app ran baseline or stale code meanwhile).
+    pub background_overlap_cycles: u64,
+    /// Compile cycles the application had to wait out — the unoverlapped
+    /// remainder, charged to the compilation thread as in synchronous mode.
+    pub foreground_stall_cycles: u64,
+}
+
+impl AsyncCompileEvents {
+    /// Serializes to an `aoci-json` object.
+    pub fn to_value(&self) -> Json {
+        Json::obj([
+            ("enqueued".to_string(), Json::from(self.enqueued)),
+            ("dispatched".to_string(), Json::from(self.dispatched)),
+            ("completed".to_string(), Json::from(self.completed)),
+            ("stale_drops".to_string(), Json::from(self.stale_drops)),
+            ("queue_full_drops".to_string(), Json::from(self.queue_full_drops)),
+            ("abandoned_in_flight".to_string(), Json::from(self.abandoned_in_flight)),
+            ("max_queue_depth".to_string(), Json::from(self.max_queue_depth)),
+            ("background_overlap_cycles".to_string(), Json::from(self.background_overlap_cycles)),
+            ("foreground_stall_cycles".to_string(), Json::from(self.foreground_stall_cycles)),
+        ])
+    }
+
+    /// Inverse of [`AsyncCompileEvents::to_value`]; `None` on shape mismatch.
+    pub fn from_value(v: &Json) -> Option<Self> {
+        Some(AsyncCompileEvents {
+            enqueued: v.get("enqueued")?.as_u64()?,
+            dispatched: v.get("dispatched")?.as_u64()?,
+            completed: v.get("completed")?.as_u64()?,
+            stale_drops: v.get("stale_drops")?.as_u64()?,
+            queue_full_drops: v.get("queue_full_drops")?.as_u64()?,
+            abandoned_in_flight: v.get("abandoned_in_flight")?.as_u64()?,
+            max_queue_depth: v.get("max_queue_depth")?.as_u64()?,
+            background_overlap_cycles: v.get("background_overlap_cycles")?.as_u64()?,
+            foreground_stall_cycles: v.get("foreground_stall_cycles")?.as_u64()?,
+        })
+    }
+}
+
 /// Metrics of one complete AOS run.
 #[derive(Clone, Debug)]
 pub struct AosReport {
@@ -171,6 +233,9 @@ pub struct AosReport {
     pub recovery: RecoveryEvents,
     /// On-stack-replacement activity (requests, grants, transitions).
     pub osr: OsrEvents,
+    /// Background-compilation activity (queue traffic, staleness drops,
+    /// overlap/stall accounting).
+    pub async_compile: AsyncCompileEvents,
     /// The flight recorder's final log, when tracing was on. Excluded from
     /// [`AosReport::to_value`] — events are exported through their own
     /// sinks (Chrome trace, rendered lines), not the metrics JSON.
@@ -295,6 +360,7 @@ impl AosReport {
             ("compilations".to_string(), compilations),
             ("recovery".to_string(), self.recovery.to_value()),
             ("osr".to_string(), self.osr.to_value()),
+            ("async_compile".to_string(), self.async_compile.to_value()),
         ])
     }
 
@@ -363,6 +429,7 @@ impl AosReport {
             compilations,
             recovery: RecoveryEvents::from_value(v.get("recovery")?)?,
             osr: OsrEvents::from_value(v.get("osr")?)?,
+            async_compile: AsyncCompileEvents::from_value(v.get("async_compile")?)?,
             trace_log: None,
         })
     }
@@ -434,6 +501,17 @@ mod tests {
                 ],
             },
             osr: OsrEvents { requests: 9, denied: 3, entries: 2, exits: 1 },
+            async_compile: AsyncCompileEvents {
+                enqueued: 11,
+                dispatched: 9,
+                completed: 8,
+                stale_drops: 2,
+                queue_full_drops: 1,
+                abandoned_in_flight: 1,
+                max_queue_depth: 5,
+                background_overlap_cycles: 700,
+                foreground_stall_cycles: 300,
+            },
             trace_log: None,
         }
     }
@@ -505,6 +583,7 @@ mod tests {
         assert_eq!(back.compilations, report.compilations);
         assert_eq!(back.recovery, report.recovery);
         assert_eq!(back.osr, report.osr);
+        assert_eq!(back.async_compile, report.async_compile);
         assert!(back.trace_log.is_none());
 
         // And the derived metrics agree.
@@ -524,5 +603,6 @@ mod tests {
         assert!(AosReport::from_value(&Json::Null).is_none());
         assert!(RecoveryEvents::from_value(&Json::from("nope")).is_none());
         assert!(OsrEvents::from_value(&Json::Arr(Vec::new())).is_none());
+        assert!(AsyncCompileEvents::from_value(&Json::from(3u64)).is_none());
     }
 }

@@ -3,14 +3,16 @@
 use crate::config::{AosConfig, RecoveryConfig};
 use crate::database::AosDatabase;
 use crate::fault::{CompileFault, FaultInjector, TraceCorruption};
-use crate::report::{AosReport, OsrEvents, RecoveryEvents};
+use crate::report::{AosReport, AsyncCompileEvents, OsrEvents, RecoveryEvents};
 use aoci_core::{InlineOracle, PolicyEngine, RuleSet};
 use aoci_ir::{CallSiteRef, MethodId, Program, SiteIdx};
 use aoci_profile::{
     validate_trace, CallingContextTree, Dcg, MethodListener, ProfileStore, TraceKey,
     TraceListener, TraceStatsCollector,
 };
-use aoci_trace::{FaultKind, OsrDenyReason, PlanReason, TraceEvent, TraceLog, TraceSink};
+use aoci_trace::{
+    FaultKind, OsrDenyReason, PlanReason, StaleReason, TraceEvent, TraceLog, TraceSink,
+};
 use aoci_vm::{
     Component, MethodGuardStats, MethodVersion, OptLevel, OsrRequest, RunOutcome, StackSnapshot,
     Vm, VmError,
@@ -21,6 +23,62 @@ use std::sync::Arc;
 /// Everything a finished run yields: the report, the final AOS database,
 /// and the trace profile (saveable for offline profile-directed runs).
 pub type FullRunResult = Result<(AosReport, AosDatabase, Vec<(TraceKey, f64)>), VmError>;
+
+/// A compilation plan waiting in the asynchronous priority queue.
+#[derive(Clone, Debug)]
+struct PendingPlan {
+    method: MethodId,
+    reason: PlanReason,
+    /// Predicted benefit ([`aoci_opt::estimate_benefit`]) under the rules
+    /// current at enqueue time; higher runs first.
+    priority: f64,
+    /// Staleness baseline: the plan is dropped at dequeue if the method was
+    /// recompiled through another path (e.g. OSR) while it waited.
+    recompiles_at_enqueue: u32,
+}
+
+/// `Greater` means `a` dispatches first: higher predicted benefit, ties
+/// broken toward the lower method id (so the order is total and
+/// deterministic — `total_cmp` keeps even NaN priorities ordered).
+fn plan_order(a: &PendingPlan, b: &PendingPlan) -> std::cmp::Ordering {
+    a.priority
+        .total_cmp(&b.priority)
+        .then_with(|| b.method.index().cmp(&a.method.index()))
+}
+
+/// What a dispatched background compile will deliver at its deadline.
+#[derive(Debug)]
+enum CompileOutcome {
+    /// The optimizing compiler produced installable code.
+    Built(Box<aoci_opt::Compilation>),
+    /// An injected fault discarded the work; failure bookkeeping (retry
+    /// backoff or quarantine) applies at completion.
+    Faulted,
+}
+
+/// A compile occupying a simulated worker between dispatch and completion.
+/// The work itself is computed at dispatch (the simulation has no real
+/// concurrency); only its *effects* — install, cycle charges, failure
+/// bookkeeping — wait for the deadline.
+#[derive(Debug)]
+struct InFlightCompile {
+    method: MethodId,
+    worker: u32,
+    started_at: u64,
+    /// `started_at + cost` (or `started_at` in zero-latency mode): the
+    /// virtual-clock cycle at which the compile completes.
+    deadline: u64,
+    cost: u64,
+    outcome: CompileOutcome,
+    /// Staleness baseline for completion revalidation: if the method was
+    /// recompiled while this compile ran, the result is stale and dropped.
+    recompiles_at_dispatch: u32,
+    /// The oracle snapshot the compiler ran against; unrealized-rule
+    /// marking at install must use the rules the compiler saw, not the
+    /// (possibly regenerated) rules current at completion.
+    rules_at_dispatch: Arc<RuleSet>,
+    generation_at_dispatch: u64,
+}
 
 /// The complete adaptive optimization system: VM, listeners, organizers,
 /// controller, compilation thread and the AOS database, on one simulated
@@ -44,7 +102,16 @@ pub struct AosSystem<'p> {
     ai_generation: u64,
     first_hot: HashMap<aoci_profile::TraceKey, u64>,
     compile_queue: VecDeque<MethodId>,
+    /// Methods with a live plan: queued (sync FIFO or async priority queue)
+    /// or — in async mode — currently in flight on a worker.
     queued: HashSet<MethodId>,
+    /// Async mode: plans awaiting a free worker, ordered by [`plan_order`]
+    /// at each dispatch (kept unsorted; the queue is small and bounded).
+    pending_plans: Vec<PendingPlan>,
+    /// Async mode: one slot per simulated worker, `Some` while occupied.
+    in_flight: Vec<Option<InFlightCompile>>,
+    /// Async-mode activity counters and overlap/stall accounting.
+    async_events: AsyncCompileEvents,
     sample_count: u64,
     stats: TraceStatsCollector,
     /// Set once the program returns from its entry point.
@@ -114,6 +181,9 @@ impl<'p> AosSystem<'p> {
             first_hot: HashMap::new(),
             compile_queue: VecDeque::new(),
             queued: HashSet::new(),
+            pending_plans: Vec::new(),
+            in_flight: Vec::new(),
+            async_events: AsyncCompileEvents::default(),
             sample_count: 0,
             stats: TraceStatsCollector::new(),
             finished: None,
@@ -473,6 +543,10 @@ impl<'p> AosSystem<'p> {
         if self.quarantined.contains(&method) {
             return;
         }
+        if self.config.async_compile.is_some() {
+            self.async_enqueue(method, reason);
+            return;
+        }
         self.charge(Component::ControllerThread, self.config.controller_cost_per_event);
         if self.queued.insert(method) {
             self.emit(TraceEvent::RecompilePlan { method, reason });
@@ -480,17 +554,247 @@ impl<'p> AosSystem<'p> {
         }
     }
 
+    /// Async-mode controller path: prices the plan by predicted benefit and
+    /// admits it to the bounded priority queue, evicting the worst resident
+    /// (or dropping the incoming plan when it *is* the worst) under
+    /// backpressure.
+    fn async_enqueue(&mut self, method: MethodId, reason: PlanReason) {
+        let capacity =
+            self.config.async_compile.as_ref().map_or(usize::MAX, |c| c.queue_capacity.max(1));
+        self.charge(Component::ControllerThread, self.config.controller_cost_per_event);
+        if !self.queued.insert(method) {
+            return; // already queued or in flight
+        }
+        self.emit(TraceEvent::RecompilePlan { method, reason });
+        let oracle = InlineOracle::with_mode(Arc::clone(&self.rules), self.config.match_mode);
+        let plan = PendingPlan {
+            method,
+            reason,
+            priority: aoci_opt::estimate_benefit(self.program, method, &oracle),
+            recompiles_at_enqueue: self.db.recompiles(method),
+        };
+        if self.pending_plans.len() >= capacity {
+            let worst = self
+                .pending_plans
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| plan_order(a, b))
+                .map(|(i, _)| i)
+                .expect("capacity >= 1, so a full queue is non-empty");
+            if plan_order(&plan, &self.pending_plans[worst]) == std::cmp::Ordering::Greater {
+                let evicted = self.pending_plans.swap_remove(worst);
+                self.queued.remove(&evicted.method);
+                self.async_events.queue_full_drops += 1;
+                self.emit(TraceEvent::CompileQueueFull { method: evicted.method, evicted: true });
+            } else {
+                self.queued.remove(&method);
+                self.async_events.queue_full_drops += 1;
+                self.emit(TraceEvent::CompileQueueFull { method, evicted: false });
+                return;
+            }
+        }
+        self.pending_plans.push(plan);
+        self.async_events.enqueued += 1;
+        self.async_events.max_queue_depth =
+            self.async_events.max_queue_depth.max(self.pending_plans.len() as u64);
+        self.emit(TraceEvent::CompileEnqueue {
+            method,
+            reason,
+            priority: self.pending_plans.last().map_or(0.0, |p| p.priority),
+            queue_depth: self.pending_plans.len() as u32,
+        });
+    }
+
     /// The compilation thread: executes queued plans, charging compile
     /// cycles and installing the resulting code (effective at each method's
     /// next invocation — or mid-activation, when a later OSR request
-    /// promotes a running frame into the installed version).
+    /// promotes a running frame into the installed version). In synchronous
+    /// mode up to [`AosConfig::max_compiles_per_epoch`] plans compile inside
+    /// this tick (the default cap is unlimited — the historical
+    /// drain-everything behaviour); leftovers stay queued for the next tick.
+    /// In async mode this is the pump: due compiles complete, then free
+    /// workers pick up the highest-priority live plans.
     fn process_compile_queue(&mut self) {
-        while let Some(method) = self.compile_queue.pop_front() {
+        if self.config.async_compile.is_some() {
+            self.complete_due_compiles();
+            self.dispatch_pending_plans();
+            return;
+        }
+        let mut started = 0u32;
+        while started < self.config.max_compiles_per_epoch {
+            let Some(method) = self.compile_queue.pop_front() else { break };
             self.queued.remove(&method);
             if self.quarantined.contains(&method) {
-                continue; // quarantined while waiting in the queue
+                continue; // quarantined while waiting in the queue: a free skip
             }
+            started += 1;
             self.compile_and_install(method);
+        }
+    }
+
+    /// Retires every in-flight compile whose deadline the virtual clock has
+    /// reached, earliest deadline first (ties to the lower worker index).
+    /// Completion charges the unoverlapped stall, which advances the clock
+    /// and may make further deadlines due — hence the re-scan.
+    fn complete_due_compiles(&mut self) {
+        loop {
+            let now = self.vm.clock().total();
+            let due = self
+                .in_flight
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| slot.as_ref().map(|c| (c.deadline, i)))
+                .filter(|&(deadline, _)| deadline <= now)
+                .min();
+            let Some((_, slot)) = due else { break };
+            let compile = self.in_flight[slot].take().expect("slot was just observed occupied");
+            self.finish_compile(compile);
+        }
+    }
+
+    /// Hands the highest-priority live plans to free workers, revalidating
+    /// each plan at dequeue: a method that was quarantined, recompiled
+    /// through another path, or has cooled below the hot threshold while it
+    /// waited is dropped, not compiled.
+    fn dispatch_pending_plans(&mut self) {
+        let (workers, zero_latency) = match self.config.async_compile.as_ref() {
+            Some(c) => (c.workers.max(1), c.zero_latency),
+            None => return,
+        };
+        if self.in_flight.len() < workers {
+            self.in_flight.resize_with(workers, || None);
+        }
+        let mut started = 0u32;
+        while started < self.config.max_compiles_per_epoch {
+            let Some(worker) = self.in_flight.iter().position(Option::is_none) else { break };
+            let Some(plan) = self.pop_best_live_plan() else { break };
+            started += 1;
+            let compile = self.dispatch_plan(plan, worker as u32, zero_latency);
+            if zero_latency {
+                // Degenerate mode: the compile completes at dispatch with
+                // zero overlap — the synchronous system, re-expressed.
+                self.finish_compile(compile);
+            } else {
+                self.in_flight[worker] = Some(compile);
+            }
+        }
+    }
+
+    /// Pops pending plans best-first until one survives revalidation; stale
+    /// plans are dropped with a traced reason.
+    fn pop_best_live_plan(&mut self) -> Option<PendingPlan> {
+        loop {
+            let best = self
+                .pending_plans
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| plan_order(a, b))
+                .map(|(i, _)| i)?;
+            let plan = self.pending_plans.swap_remove(best);
+            let stale = if self.quarantined.contains(&plan.method) {
+                Some(StaleReason::Quarantined)
+            } else if self.db.recompiles(plan.method) != plan.recompiles_at_enqueue {
+                Some(StaleReason::Recompiled)
+            } else if plan.reason == PlanReason::HotMethod && !self.is_hot_method(plan.method) {
+                Some(StaleReason::NoLongerHot)
+            } else {
+                None
+            };
+            match stale {
+                Some(reason) => {
+                    self.queued.remove(&plan.method);
+                    self.async_events.stale_drops += 1;
+                    self.emit(TraceEvent::CompileDequeueStale { method: plan.method, reason });
+                }
+                None => return Some(plan),
+            }
+        }
+    }
+
+    /// Starts one background compile: the work (and any injected fault) is
+    /// resolved now, its effects are deferred to the deadline. The method
+    /// stays in `queued` until completion so no second plan can race it.
+    fn dispatch_plan(&mut self, plan: PendingPlan, worker: u32, zero_latency: bool) -> InFlightCompile {
+        let rules = Arc::clone(&self.rules);
+        let oracle = InlineOracle::with_mode(Arc::clone(&rules), self.config.match_mode);
+        let (outcome, cost) = match self.fault.as_mut().and_then(|f| f.compile_fault()) {
+            Some(CompileFault::Bailout) => {
+                self.emit(TraceEvent::FaultInjected { kind: FaultKind::CompileBailout });
+                (CompileOutcome::Faulted, self.config.cost.opt_compile_fixed)
+            }
+            Some(CompileFault::Oversize) => {
+                let c = aoci_opt::compile(self.program, plan.method, &oracle, &self.config.opt);
+                self.emit(TraceEvent::FaultInjected { kind: FaultKind::CompileOversize });
+                (CompileOutcome::Faulted, self.config.cost.opt_compile_cost(c.generated_size))
+            }
+            None => {
+                let c = aoci_opt::compile(self.program, plan.method, &oracle, &self.config.opt);
+                let cost = self.config.cost.opt_compile_cost(c.generated_size);
+                (CompileOutcome::Built(Box::new(c)), cost)
+            }
+        };
+        let now = self.vm.clock().total();
+        self.async_events.dispatched += 1;
+        self.emit(TraceEvent::CompileStart { method: plan.method, worker, cost });
+        InFlightCompile {
+            method: plan.method,
+            worker,
+            started_at: now,
+            deadline: if zero_latency { now } else { now + cost },
+            cost,
+            outcome,
+            recompiles_at_dispatch: self.db.recompiles(plan.method),
+            rules_at_dispatch: rules,
+            generation_at_dispatch: self.ai_generation,
+        }
+    }
+
+    /// Completes a background compile at (or after) its deadline: splits its
+    /// cost into the portion that overlapped application execution and the
+    /// stall the application must still wait out, charges only the stall,
+    /// then installs the result — unless the world moved on while the
+    /// compile ran, in which case the stale result is dropped.
+    fn finish_compile(&mut self, compile: InFlightCompile) {
+        let now = self.vm.clock().total();
+        let overlap = compile.cost.min(now.saturating_sub(compile.started_at));
+        let stall = compile.cost - overlap;
+        self.charge(Component::CompilationThread, stall);
+        self.async_events.background_overlap_cycles += overlap;
+        self.async_events.foreground_stall_cycles += stall;
+        self.emit(TraceEvent::CompileFinish {
+            method: compile.method,
+            worker: compile.worker,
+            overlap_cycles: overlap,
+            stall_cycles: stall,
+        });
+        self.queued.remove(&compile.method);
+        match compile.outcome {
+            CompileOutcome::Faulted => {
+                self.async_events.completed += 1;
+                self.handle_compile_failure(compile.method);
+            }
+            CompileOutcome::Built(compilation) => {
+                let stale = if self.quarantined.contains(&compile.method) {
+                    Some(StaleReason::Quarantined)
+                } else if self.db.recompiles(compile.method) != compile.recompiles_at_dispatch {
+                    Some(StaleReason::Recompiled)
+                } else {
+                    None
+                };
+                if let Some(reason) = stale {
+                    self.async_events.stale_drops += 1;
+                    self.emit(TraceEvent::CompileDequeueStale { method: compile.method, reason });
+                    return;
+                }
+                self.async_events.completed += 1;
+                self.install_compilation(
+                    compile.method,
+                    *compilation,
+                    compile.cost,
+                    compile.generation_at_dispatch,
+                    &compile.rules_at_dispatch,
+                );
+            }
         }
     }
 
@@ -528,8 +832,24 @@ impl<'p> AosSystem<'p> {
         let compilation = aoci_opt::compile(self.program, method, &oracle, &self.config.opt);
         let cost = self.config.cost.opt_compile_cost(compilation.generated_size);
         self.charge(Component::CompilationThread, cost);
-        self.db
-            .record_compilation(method, &compilation, self.ai_generation);
+        let rules = Arc::clone(&self.rules);
+        Some(self.install_compilation(method, compilation, cost, self.ai_generation, &rules))
+    }
+
+    /// Books and installs a finished compilation: database record, trace
+    /// events, registry install, guard-window and failure-streak resets, and
+    /// unrealized-rule marking. `generation` and `rules` are the AI state
+    /// the compiler ran against — for a background compile that is the
+    /// dispatch-time snapshot, not the state current at completion.
+    fn install_compilation(
+        &mut self,
+        method: MethodId,
+        compilation: aoci_opt::Compilation,
+        cost: u64,
+        generation: u64,
+        rules: &RuleSet,
+    ) -> Arc<MethodVersion> {
+        self.db.record_compilation(method, &compilation, generation);
         if self.trace.is_some() {
             for d in &compilation.decisions {
                 // The context always starts at the decision's own call site.
@@ -571,7 +891,7 @@ impl<'p> AosSystem<'p> {
         // is marked unrealized: re-requesting the same compilation under
         // the same rules cannot succeed.
         let mut unrealized: Vec<(CallSiteRef, MethodId)> = Vec::new();
-        for rule in self.rules.iter() {
+        for rule in rules.iter() {
             let site = rule.trace.immediate_caller();
             let callee = rule.trace.callee();
             let Some(outer) = rule.trace.context().last().map(|c| c.method) else {
@@ -586,7 +906,7 @@ impl<'p> AosSystem<'p> {
         for (site, callee) in unrealized {
             self.db.mark_unrealized(method, site, callee);
         }
-        Some(installed)
+        installed
     }
 
     /// Handles a hot-loop promotion request from the interpreter: obtain an
@@ -636,8 +956,12 @@ impl<'p> AosSystem<'p> {
         self.emit(TraceEvent::RecompilePlan { method, reason: PlanReason::OsrPromotion });
         match self.compile_and_install(method) {
             Some(v) => {
-                // The install satisfies any queued plan for this method.
-                if self.queued.remove(&method) {
+                // The install satisfies any queued plan for this method —
+                // in synchronous mode it can be removed silently. Async
+                // plans are left alone: the queue owns their lifecycle, and
+                // the pending plan (or in-flight compile) will be dropped
+                // as stale (already recompiled) with a traced reason.
+                if self.config.async_compile.is_none() && self.queued.remove(&method) {
                     self.compile_queue.retain(|&m| m != method);
                 }
                 if !self.vm.osr_enter(&v, req.loop_header) {
@@ -856,6 +1180,12 @@ impl<'p> AosSystem<'p> {
     }
 
     fn into_report(self, result: Option<aoci_vm::Value>) -> AosReport {
+        let mut async_compile = self.async_events;
+        // Compiles still on a worker when the program returned: their work
+        // is abandoned — nothing is installed and no cycles are charged
+        // (the application never waited on them).
+        async_compile.abandoned_in_flight +=
+            self.in_flight.iter().filter(|slot| slot.is_some()).count() as u64;
         AosReport {
             result,
             clock: self.vm.clock().clone(),
@@ -873,6 +1203,7 @@ impl<'p> AosSystem<'p> {
             compilations: self.db.compilation_log().to_vec(),
             recovery: self.recovery_events(),
             osr: self.osr_events(),
+            async_compile,
             trace_log: self.trace.as_ref().map(TraceSink::log),
         }
     }
@@ -915,6 +1246,12 @@ impl<'p> AosSystem<'p> {
             exits: counters.osr_exits,
             ..self.osr
         }
+    }
+
+    /// Background-compilation activity so far (also usable mid-run between
+    /// [`AosSystem::step`]s). All zeros when async compilation is off.
+    pub fn async_events(&self) -> AsyncCompileEvents {
+        self.async_events
     }
 
     /// Recovery actions taken so far, with the injector's delivered-fault

@@ -478,6 +478,96 @@ fn unfaulted_runs_are_deterministic() {
     assert_eq!(a.recovery.receiver_bursts, 0);
 }
 
+// ---- Asynchronous background compilation --------------------------------
+
+use crate::config::AsyncCompileConfig;
+use crate::report::AsyncCompileEvents;
+
+#[test]
+fn capped_sync_compile_budget_preserves_semantics() {
+    let p = hot_loop_program(4_000, true);
+    let expected = baseline_result(&p);
+    let mut config = fast_config(PolicyKind::Fixed { max: 3 });
+    config.max_compiles_per_epoch = 1;
+    let report = AosSystem::new(&p, config).run().expect("capped run succeeds");
+    assert_eq!(report.result, expected);
+    assert!(report.opt_compilations >= 1, "the cap delays compiles, it must not starve them");
+    assert_eq!(
+        report.async_compile,
+        AsyncCompileEvents::default(),
+        "synchronous mode must not book async activity"
+    );
+}
+
+#[test]
+fn async_run_preserves_semantics_and_overlaps_compiles() {
+    let p = hot_loop_program(6_000, true);
+    let expected = baseline_result(&p);
+    let mut config = fast_config(PolicyKind::Fixed { max: 3 });
+    config.async_compile = Some(AsyncCompileConfig::default());
+    let report = AosSystem::new(&p, config).run().expect("async run succeeds");
+    assert_eq!(report.result, expected, "background compilation must not change semantics");
+    let ev = report.async_compile;
+    assert!(ev.enqueued >= 1, "hot methods should queue plans: {ev:?}");
+    assert!(ev.dispatched >= 1 && ev.completed >= 1, "plans should run to completion: {ev:?}");
+    assert!(
+        ev.background_overlap_cycles > 0,
+        "compiles should overlap application execution: {ev:?}"
+    );
+    assert_eq!(
+        report.compile_cycles(),
+        ev.foreground_stall_cycles,
+        "without OSR or faults, every compilation-thread cycle is async stall"
+    );
+}
+
+#[test]
+fn async_queue_backpressure_evicts_worst() {
+    let p = hot_loop_program(50, true);
+    let mut config = fast_config(PolicyKind::ContextInsensitive);
+    config.async_compile =
+        Some(AsyncCompileConfig { workers: 1, queue_capacity: 2, zero_latency: false });
+    let mut sys = AosSystem::new(&p, config);
+    // No rules yet: every plan prices at benefit 0, so ordering falls back
+    // to the deterministic method-id tie-break (lower id runs first).
+    for idx in [1, 2, 3] {
+        sys.controller_enqueue(MethodId::from_index(idx), PlanReason::MissingEdge);
+    }
+    // Method 3 arrived at a full queue as the worst plan: dropped.
+    assert_eq!(sys.async_events.enqueued, 2);
+    assert_eq!(sys.async_events.queue_full_drops, 1);
+    assert!(!sys.queued.contains(&MethodId::from_index(3)));
+    // Method 0 outranks both residents: the worst resident (2) is evicted.
+    sys.controller_enqueue(MethodId::from_index(0), PlanReason::MissingEdge);
+    assert_eq!(sys.async_events.enqueued, 3);
+    assert_eq!(sys.async_events.queue_full_drops, 2);
+    assert!(sys.queued.contains(&MethodId::from_index(0)));
+    assert!(!sys.queued.contains(&MethodId::from_index(2)));
+    assert_eq!(sys.async_events.max_queue_depth, 2);
+}
+
+#[test]
+fn stale_plans_drop_at_dequeue_with_reasons() {
+    let p = hot_loop_program(50, true);
+    let mut config = fast_config(PolicyKind::ContextInsensitive);
+    config.async_compile =
+        Some(AsyncCompileConfig { workers: 1, queue_capacity: 8, zero_latency: true });
+    let mut sys = AosSystem::new(&p, config);
+    // Quarantined while waiting.
+    let quarantined = MethodId::from_index(2);
+    sys.controller_enqueue(quarantined, PlanReason::MissingEdge);
+    sys.quarantine(quarantined);
+    // A hot-method plan whose method never accumulated samples: by dispatch
+    // time it no longer (here: never) satisfies the hotness criterion.
+    let cooled = MethodId::from_index(1);
+    sys.controller_enqueue(cooled, PlanReason::HotMethod);
+    sys.process_compile_queue();
+    assert_eq!(sys.async_events.stale_drops, 2, "{:?}", sys.async_events);
+    assert_eq!(sys.async_events.dispatched, 0);
+    assert!(!sys.queued.contains(&quarantined));
+    assert!(!sys.queued.contains(&cooled));
+}
+
 #[test]
 fn context_tree_backend_matches_flat_semantics() {
     let p = hot_loop_program(600, true);

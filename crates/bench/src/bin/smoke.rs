@@ -9,7 +9,9 @@ use std::time::Instant;
 /// profile ([`FaultConfig::chaos`]) with that seed: every run must still
 /// complete, and the per-run line gains the recovery-event counts. Set
 /// `AOCI_OSR=1` to enable on-stack replacement; the per-run line then
-/// gains the OSR request/entry/exit counts.
+/// gains the OSR request/entry/exit counts. Set `AOCI_ASYNC=1` to compile
+/// on the simulated background worker pool; the per-run line then gains
+/// the queue/overlap counters.
 ///
 /// Set `AOCI_TRACE=1` to turn the flight recorder on: the per-run line
 /// gains the emitted/dropped/kind counts, the richest retained window of
@@ -34,6 +36,7 @@ fn main() {
     };
     let osr = aoci_bench::osr_enabled();
     let trace = aoci_bench::trace_enabled();
+    let async_compile = aoci_bench::async_enabled();
     // The post-mortem default ring (8192) is sized for crash dumps; an
     // explicit export wants a window wide enough to span compile activity,
     // so smoke defaults much larger (`AOCI_TRACE_CAP` overrides).
@@ -54,6 +57,9 @@ fn main() {
             let mut config = if osr { AosConfig::with_osr(policy) } else { AosConfig::new(policy) };
             if trace {
                 config.trace = Some(TraceConfig { capacity: trace_cap, ..TraceConfig::default() });
+            }
+            if async_compile {
+                config.async_compile = Some(aoci_aos::AsyncCompileConfig::default());
             }
             config.fault = faults.map(FaultConfig::chaos);
             let report = AosSystem::new(&w.program, config).run().expect("runs");
@@ -76,6 +82,21 @@ fn main() {
                 print!(
                     " | osr: requests={} denied={} entries={} exits={}",
                     report.osr.requests, report.osr.denied, report.osr.entries, report.osr.exits,
+                );
+            }
+            if async_compile {
+                let ev = &report.async_compile;
+                print!(
+                    " | async: enqueued={} dispatched={} completed={} stale={} full={} abandoned={} depth={} overlap={} stall={}",
+                    ev.enqueued,
+                    ev.dispatched,
+                    ev.completed,
+                    ev.stale_drops,
+                    ev.queue_full_drops,
+                    ev.abandoned_in_flight,
+                    ev.max_queue_depth,
+                    ev.background_overlap_cycles,
+                    ev.foreground_stall_cycles,
                 );
             }
             if faults.is_some() {
@@ -124,5 +145,8 @@ fn main() {
     }
     if osr {
         println!("osr smoke complete: every run finished with OSR enabled");
+    }
+    if async_compile {
+        println!("async smoke complete: every run finished with background compilation");
     }
 }

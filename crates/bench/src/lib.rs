@@ -27,7 +27,8 @@ pub mod table;
 
 pub use grid::{grid_path, load_or_run_grid, GridKey, GridStore};
 pub use metrics::{
-    code_delta_pct, harmonic_mean_speedup_pct, osr_enabled, policy_label, run_config, run_one,
+    async_enabled, code_delta_pct, harmonic_mean_speedup_pct, osr_enabled, policy_label,
+    run_config, run_one,
     speedup_pct, trace_enabled, RunMetrics, POLICY_GROUPS,
 };
 pub use table::{fmt_pct, render_table};

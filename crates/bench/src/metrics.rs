@@ -121,6 +121,14 @@ pub fn trace_enabled() -> bool {
     std::env::var("AOCI_TRACE").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
 }
 
+/// `true` when the sweep should compile asynchronously (`AOCI_ASYNC=1`):
+/// plans queue by predicted benefit and a simulated worker pool overlaps
+/// compilation with execution. The default (off) preserves the synchronous
+/// compile-inside-the-tick model, byte-identical to earlier grids.
+pub fn async_enabled() -> bool {
+    std::env::var("AOCI_ASYNC").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
+}
+
 /// Builds the AOS configuration for one repetition: repetitions perturb the
 /// sampling period slightly, emulating the timer non-determinism the paper
 /// handles with a best-of-20 protocol.
@@ -132,6 +140,9 @@ pub fn run_config(policy: PolicyKind, rep: usize) -> AosConfig {
     };
     if trace_enabled() {
         config.trace = Some(aoci_aos::TraceConfig::default());
+    }
+    if async_enabled() {
+        config.async_compile = Some(aoci_aos::AsyncCompileConfig::default());
     }
     config.cost.sample_period += (rep as u64) * 37;
     config

@@ -56,11 +56,13 @@
 
 mod config;
 mod decision;
+mod estimate;
 mod inliner;
 mod simplify;
 
 pub use config::OptConfig;
 pub use decision::{Compilation, InlineDecision, Refusal, RefusalReason};
+pub use estimate::estimate_benefit;
 pub use inliner::compile;
 pub use simplify::{simplify, simplify_with_anchors};
 

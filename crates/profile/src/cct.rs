@@ -187,12 +187,11 @@ impl ProfileStore for CallingContextTree {
                 weight,
             })
             .collect();
-        v.sort_by(|a, b| {
-            b.weight
-                .partial_cmp(&a.weight)
-                .expect("weights are finite")
-                .then_with(|| a.key.cmp(&b.key))
-        });
+        // `total_cmp`, not `partial_cmp(..).expect(..)`: weights are
+        // sanitized at the store boundary, but repeated decay of a denormal
+        // can reach states no one anticipated — a poisoned weight must sort
+        // deterministically, never panic mid-run.
+        v.sort_by(|a, b| b.weight.total_cmp(&a.weight).then_with(|| a.key.cmp(&b.key)));
         v
     }
 
@@ -251,6 +250,25 @@ mod tests {
         // Through + two Into leaves = 7.
         assert_eq!(t.num_nodes(), 7);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn denormal_decay_and_nan_poison_never_panic_hot() {
+        // Pruning off, so an underflowing weight stays in the tree.
+        let mut t = CallingContextTree::new(0.0);
+        t.record(TraceKey::edge(cs(0, 0), mid(1)), 1.0);
+        // The smallest positive denormal: one decay step underflows it to
+        // exactly 0.0, the poisoned-weight state the sort must tolerate.
+        t.record(TraceKey::new(mid(2), vec![cs(0, 1), cs(3, 0)]), 5e-324);
+        for _ in 0..64 {
+            t.decay(0.5);
+            assert_eq!(t.hot(0.0), t.hot(0.0), "hot() must stay deterministic");
+        }
+        // A NaN recorded past the AOS sanitization boundary: extraction
+        // must degrade deterministically, never panic in the weight sort.
+        t.record(TraceKey::edge(cs(0, 2), mid(3)), f64::NAN);
+        assert_eq!(t.hot(0.015), t.hot(0.015));
+        assert_eq!(t.hot(0.0), t.hot(0.0));
     }
 
     #[test]

@@ -142,12 +142,11 @@ impl Dcg {
                 fraction: w / self.total_weight,
             })
             .collect();
-        v.sort_by(|a, b| {
-            b.weight
-                .partial_cmp(&a.weight)
-                .expect("weights are finite")
-                .then_with(|| a.key.cmp(&b.key))
-        });
+        // `total_cmp`, not `partial_cmp(..).expect(..)`: weights are
+        // sanitized at the store boundary, but repeated decay of a denormal
+        // can reach states no one anticipated — a poisoned weight must sort
+        // deterministically, never panic mid-run.
+        v.sort_by(|a, b| b.weight.total_cmp(&a.weight).then_with(|| a.key.cmp(&b.key)));
         v
     }
 
@@ -237,6 +236,27 @@ mod tests {
         // 1.0 → 0.5 survives; 0.5 → 0.25 pruned.
         assert_eq!(d.len(), 1);
         assert!((d.total_weight() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn denormal_decay_and_nan_poison_never_panic_hot() {
+        // Pruning off, so an underflowing weight stays in the store instead
+        // of being dropped at the first decay.
+        let mut d = Dcg::new(DcgConfig { prune_epsilon: 0.0, ..DcgConfig::default() });
+        d.record(TraceKey::edge(cs(0, 0), mid(1)), 1.0);
+        // The smallest positive denormal: one decay step underflows it to
+        // exactly 0.0, the poisoned-weight state the sort must tolerate.
+        d.record(TraceKey::edge(cs(0, 1), mid(2)), 5e-324);
+        for _ in 0..64 {
+            d.decay(0.5);
+            assert_eq!(d.hot(0.0), d.hot(0.0), "hot() must stay deterministic");
+        }
+        // `record` is public and unvalidated (the AOS sanitizes at its own
+        // boundary), so a NaN can be injected directly: extraction must
+        // degrade deterministically, never panic in the weight sort.
+        d.record(TraceKey::edge(cs(0, 2), mid(3)), f64::NAN);
+        assert_eq!(d.hot(0.015), d.hot(0.015));
+        assert_eq!(d.hot(0.0), d.hot(0.0));
     }
 
     #[test]

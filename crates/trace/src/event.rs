@@ -8,6 +8,10 @@ use std::fmt::Write as _;
 /// access to the program; the embedding layer passes a closure over it).
 pub type Resolve<'a> = &'a dyn Fn(MethodId) -> String;
 
+/// First Chrome `tid` used for per-worker compile lanes: worker `k` renders
+/// in lane `WORKER_LANE_BASE + k`, above the six fixed category lanes.
+pub(crate) const WORKER_LANE_BASE: u32 = 10;
+
 /// Why the controller created a recompilation plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlanReason {
@@ -31,6 +35,31 @@ impl PlanReason {
             PlanReason::MissingEdge => "missing-edge",
             PlanReason::Retry => "retry",
             PlanReason::OsrPromotion => "osr-promotion",
+        }
+    }
+}
+
+/// Why a queued background-compilation plan was judged stale and dropped
+/// (at dequeue, or — for an in-flight compile — at completion).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaleReason {
+    /// The method was quarantined while the plan waited.
+    Quarantined,
+    /// The method was recompiled through another path (e.g. an on-the-spot
+    /// OSR promotion) while the plan waited or the compile ran.
+    Recompiled,
+    /// The method no longer satisfies the hot-method criterion that
+    /// motivated the plan.
+    NoLongerHot,
+}
+
+impl StaleReason {
+    /// Short stable label (used by both sinks).
+    pub fn label(self) -> &'static str {
+        match self {
+            StaleReason::Quarantined => "quarantined",
+            StaleReason::Recompiled => "already-recompiled",
+            StaleReason::NoLongerHot => "no-longer-hot",
         }
     }
 }
@@ -248,6 +277,55 @@ pub enum TraceEvent {
         /// The optimized pc the exit point mapped from.
         opt_pc: u32,
     },
+    /// The controller inserted a plan into the background priority queue.
+    CompileEnqueue {
+        /// The method to be (re)compiled.
+        method: MethodId,
+        /// Which organizer/path requested it.
+        reason: PlanReason,
+        /// The predicted-benefit priority assigned at enqueue.
+        priority: f64,
+        /// Queue depth after insertion.
+        queue_depth: u32,
+    },
+    /// A queued plan (or in-flight compile) was judged stale and dropped.
+    CompileDequeueStale {
+        /// The method whose plan was dropped.
+        method: MethodId,
+        /// Why the plan no longer applies.
+        reason: StaleReason,
+    },
+    /// The bounded queue was full: the lowest-priority plan was dropped.
+    CompileQueueFull {
+        /// The method whose plan was dropped.
+        method: MethodId,
+        /// `true` when a resident plan was evicted in favour of a
+        /// higher-priority arrival; `false` when the arrival itself was
+        /// dropped.
+        evicted: bool,
+    },
+    /// A background worker started executing a compilation plan.
+    CompileStart {
+        /// The method being compiled.
+        method: MethodId,
+        /// The simulated worker lane executing the plan.
+        worker: u32,
+        /// Compile-cycle cost the plan will take on the virtual clock.
+        cost: u64,
+    },
+    /// A background worker finished a compilation plan.
+    CompileFinish {
+        /// The compiled method.
+        method: MethodId,
+        /// The simulated worker lane that executed the plan.
+        worker: u32,
+        /// Compile cycles that overlapped application execution (charged
+        /// nowhere: the app kept running).
+        overlap_cycles: u64,
+        /// Compile cycles the application had to stall for (charged to the
+        /// compilation thread).
+        stall_cycles: u64,
+    },
     /// The fault injector delivered a fault.
     FaultInjected {
         /// What was injected.
@@ -282,6 +360,11 @@ impl TraceEvent {
             TraceEvent::OsrDeny { .. } => "osr-deny",
             TraceEvent::OsrEnter { .. } => "osr-enter",
             TraceEvent::OsrExit { .. } => "osr-exit",
+            TraceEvent::CompileEnqueue { .. } => "compile-enqueue",
+            TraceEvent::CompileDequeueStale { .. } => "dequeue-stale-drop",
+            TraceEvent::CompileQueueFull { .. } => "queue-full-drop",
+            TraceEvent::CompileStart { .. } => "compile-start",
+            TraceEvent::CompileFinish { .. } => "compile-finish",
             TraceEvent::FaultInjected { .. } => "fault-injected",
             TraceEvent::VmFault { .. } => "vm-fault",
         }
@@ -291,11 +374,17 @@ impl TraceEvent {
     pub fn category(&self) -> &'static str {
         match self {
             TraceEvent::SampleTick { .. } | TraceEvent::TraceWalk { .. } => "profile",
-            TraceEvent::HotMethod { .. } | TraceEvent::RecompilePlan { .. } => "controller",
+            TraceEvent::HotMethod { .. }
+            | TraceEvent::RecompilePlan { .. }
+            | TraceEvent::CompileEnqueue { .. }
+            | TraceEvent::CompileDequeueStale { .. }
+            | TraceEvent::CompileQueueFull { .. } => "controller",
             TraceEvent::InlineDecision { .. }
             | TraceEvent::InlineRefusal { .. }
             | TraceEvent::Compile { .. }
-            | TraceEvent::Install { .. } => "compiler",
+            | TraceEvent::Install { .. }
+            | TraceEvent::CompileStart { .. }
+            | TraceEvent::CompileFinish { .. } => "compiler",
             TraceEvent::GuardMiss { .. } | TraceEvent::VmFault { .. } => "vm",
             TraceEvent::OsrRequest { .. }
             | TraceEvent::OsrDeny { .. }
@@ -311,7 +400,15 @@ impl TraceEvent {
 
     /// The Chrome lane (`tid`) of this event's category. Lanes and their
     /// metadata names are listed in [`crate::recorder::TraceLog::to_chrome_value`].
+    /// Worker start/finish events get one lane *per simulated compile
+    /// worker* (tid `10 + worker`), so overlapping background compiles
+    /// render side by side instead of stacking.
     pub(crate) fn tid(&self) -> u32 {
+        if let TraceEvent::CompileStart { worker, .. } | TraceEvent::CompileFinish { worker, .. } =
+            self
+        {
+            return WORKER_LANE_BASE + worker;
+        }
         match self.category() {
             "profile" => 1,
             "controller" => 2,
@@ -417,6 +514,31 @@ impl TraceEvent {
                 ("method", m(resolve, *method)),
                 ("opt_pc", Value::from(*opt_pc)),
             ],
+            TraceEvent::CompileEnqueue { method, reason, priority, queue_depth } => vec![
+                ("method", m(resolve, *method)),
+                ("reason", Value::from(reason.label())),
+                ("priority", Value::from(*priority)),
+                ("queue_depth", Value::from(*queue_depth)),
+            ],
+            TraceEvent::CompileDequeueStale { method, reason } => vec![
+                ("method", m(resolve, *method)),
+                ("reason", Value::from(reason.label())),
+            ],
+            TraceEvent::CompileQueueFull { method, evicted } => vec![
+                ("method", m(resolve, *method)),
+                ("evicted", Value::Bool(*evicted)),
+            ],
+            TraceEvent::CompileStart { method, worker, cost } => vec![
+                ("method", m(resolve, *method)),
+                ("worker", Value::from(*worker)),
+                ("cost", Value::from(*cost)),
+            ],
+            TraceEvent::CompileFinish { method, worker, overlap_cycles, stall_cycles } => vec![
+                ("method", m(resolve, *method)),
+                ("worker", Value::from(*worker)),
+                ("overlap_cycles", Value::from(*overlap_cycles)),
+                ("stall_cycles", Value::from(*stall_cycles)),
+            ],
             TraceEvent::FaultInjected { kind } => vec![("kind", Value::from(kind.label()))],
             TraceEvent::VmFault { message } => vec![("message", Value::from(message.clone()))],
         }
@@ -485,6 +607,24 @@ mod tests {
             TraceEvent::OsrEnter { method: MethodId::from_index(1), loop_header: 0 },
             TraceEvent::FaultInjected { kind: FaultKind::CorruptTrace },
             TraceEvent::VmFault { message: "boom".to_string() },
+            TraceEvent::CompileEnqueue {
+                method: MethodId::from_index(1),
+                reason: PlanReason::HotMethod,
+                priority: 12.5,
+                queue_depth: 2,
+            },
+            TraceEvent::CompileDequeueStale {
+                method: MethodId::from_index(1),
+                reason: StaleReason::NoLongerHot,
+            },
+            TraceEvent::CompileQueueFull { method: MethodId::from_index(2), evicted: false },
+            TraceEvent::CompileStart { method: MethodId::from_index(1), worker: 0, cost: 400 },
+            TraceEvent::CompileFinish {
+                method: MethodId::from_index(1),
+                worker: 0,
+                overlap_cycles: 300,
+                stall_cycles: 100,
+            },
         ];
         let kinds: std::collections::BTreeSet<_> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len(), "kind strings must be distinct");

@@ -33,5 +33,5 @@ mod event;
 mod recorder;
 mod sinks;
 
-pub use event::{DecisionProvenance, FaultKind, OsrDenyReason, PlanReason, TraceEvent};
+pub use event::{DecisionProvenance, FaultKind, OsrDenyReason, PlanReason, StaleReason, TraceEvent};
 pub use recorder::{FlightRecorder, Recorded, TraceConfig, TraceLog, TraceSink};

@@ -28,21 +28,34 @@ impl TraceLog {
     /// microsecond field verbatim: the scale is fictional but ordering and
     /// durations are exact.
     pub fn to_chrome_value(&self, resolve: Resolve) -> Value {
-        let mut events: Vec<Value> = LANES
+        let lane_meta = |tid: u32, name: String| {
+            Value::obj([
+                ("name".to_string(), Value::from("thread_name")),
+                ("ph".to_string(), Value::from("M")),
+                ("pid".to_string(), Value::from(1u64)),
+                ("tid".to_string(), Value::from(tid)),
+                ("args".to_string(), Value::obj([("name".to_string(), Value::from(name))])),
+            ])
+        };
+        let mut events: Vec<Value> =
+            LANES.iter().map(|&(tid, name)| lane_meta(tid, name.to_string())).collect();
+        // One extra lane per simulated compile worker that appears in the
+        // window, so overlapping background compiles render side by side.
+        let workers: BTreeSet<u32> = self
+            .events
             .iter()
-            .map(|(tid, name)| {
-                Value::obj([
-                    ("name".to_string(), Value::from("thread_name")),
-                    ("ph".to_string(), Value::from("M")),
-                    ("pid".to_string(), Value::from(1u64)),
-                    ("tid".to_string(), Value::from(*tid)),
-                    (
-                        "args".to_string(),
-                        Value::obj([("name".to_string(), Value::from(*name))]),
-                    ),
-                ])
+            .filter_map(|r| match r.event {
+                TraceEvent::CompileStart { worker, .. }
+                | TraceEvent::CompileFinish { worker, .. } => Some(worker),
+                _ => None,
             })
             .collect();
+        for w in workers {
+            events.push(lane_meta(
+                crate::event::WORKER_LANE_BASE + w,
+                format!("compile worker {w} (background)"),
+            ));
+        }
         for rec in &self.events {
             let mut args: Vec<(String, Value)> = rec
                 .event
@@ -236,6 +249,44 @@ mod tests {
             doc.get("otherData").unwrap().get("clock").unwrap().as_str(),
             Some("simulated-cycles")
         );
+    }
+
+    #[test]
+    fn worker_events_get_their_own_lanes() {
+        let sink = TraceSink::new(TraceConfig::default());
+        sink.emit(
+            5,
+            TraceEvent::CompileStart { method: MethodId::from_index(1), worker: 1, cost: 90 },
+        );
+        sink.emit(
+            95,
+            TraceEvent::CompileFinish {
+                method: MethodId::from_index(1),
+                worker: 1,
+                overlap_cycles: 90,
+                stall_cycles: 0,
+            },
+        );
+        let doc = sink.log().to_chrome_value(&resolve);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 6 fixed lanes + 1 worker lane + 2 events.
+        assert_eq!(events.len(), 9);
+        let lane = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Value::as_str) == Some("thread_name")
+                    && e.get("tid").and_then(Value::as_u64) == Some(11)
+            })
+            .expect("worker 1 lane metadata");
+        assert_eq!(
+            lane.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("compile worker 1 (background)")
+        );
+        let start = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("compile-start"))
+            .unwrap();
+        assert_eq!(start.get("tid").unwrap().as_u64(), Some(11));
     }
 
     #[test]

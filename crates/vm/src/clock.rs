@@ -19,6 +19,12 @@ pub enum Component {
     /// Listeners").
     Listeners,
     /// The optimizing compilation thread (Figure 6 "CompilationThread").
+    ///
+    /// Under the default synchronous model every compile's full cost lands
+    /// here. With background compilation on (`AsyncCompileConfig`) only the
+    /// **foreground stall** — the part of a compile the application had to
+    /// wait for — is charged; cycles a compile overlaps with execution are
+    /// booked in the report's `async_compile` ledger instead of the clock.
     CompilationThread,
     /// The decay organizer (Figure 6 "DecayOrganizer").
     DecayOrganizer,

@@ -10,7 +10,9 @@
 //! The fault seed comes from `AOCI_ORACLE_SEED` (default 1), so a CI matrix
 //! can sweep seeds without touching the code.
 
-use aoci_aos::{AosConfig, AosReport, AosSystem, FaultConfig, OsrEvents, TraceConfig};
+use aoci_aos::{
+    AosConfig, AosReport, AosSystem, AsyncCompileConfig, FaultConfig, OsrEvents, TraceConfig,
+};
 use aoci_core::PolicyKind;
 use aoci_vm::{CostModel, Value, Vm, COMPONENTS};
 use aoci_workloads::{build, spec_by_name, WorkloadSpec};
@@ -20,6 +22,13 @@ fn oracle_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
+}
+
+/// `AOCI_ASYNC=1` reruns the whole oracle matrix with the asynchronous
+/// background-compilation pool on (default worker/queue settings) — the CI
+/// `async-smoke` job sweeps the same seeds through this switch.
+fn async_enabled() -> bool {
+    std::env::var("AOCI_ASYNC").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
 }
 
 /// A shrunken suite workload: same structure, short run (debug mode), but
@@ -52,6 +61,9 @@ fn config(policy: PolicyKind, osr: bool, fault: Option<FaultConfig>) -> AosConfi
     c.vm.osr_backedge_threshold = 48;
     c.recovery.monitor_guard_health = true;
     c.fault = fault;
+    if async_enabled() {
+        c.async_compile = Some(AsyncCompileConfig::default());
+    }
     c
 }
 
@@ -74,6 +86,7 @@ fn assert_identical(a: &AosReport, b: &AosReport, what: &str) {
     assert_eq!(a.counters, b.counters, "{what}: exec counters diverged");
     assert_eq!(a.osr, b.osr, "{what}: OSR events diverged");
     assert_eq!(a.recovery, b.recovery, "{what}: recovery events diverged");
+    assert_eq!(a.async_compile, b.async_compile, "{what}: async compile ledgers diverged");
     assert_eq!(a.opt_compilations, b.opt_compilations, "{what}: compilations diverged");
     assert_eq!(a.optimized_code_size, b.optimized_code_size, "{what}: code size diverged");
     assert_eq!(a.dcg_entries, b.dcg_entries, "{what}: DCG sizes diverged");
