@@ -172,6 +172,13 @@ pub struct AosConfig {
     /// every plan synchronously inside its epoch tick, bit-identical to
     /// the pre-async system.
     pub async_compile: Option<AsyncCompileConfig>,
+    /// Dump the controller's hot-method selection to stderr each epoch
+    /// tick (`AOCI_DEBUG_HOT` in the harness binaries). Diagnostics only:
+    /// the flag never changes simulated behaviour, and keeping it in the
+    /// config (rather than an ambient environment read) keeps every
+    /// `AosSystem` run a pure function of `(program, AosConfig)` — the
+    /// invariant the parallel sweep harness relies on.
+    pub debug_hot: bool,
 }
 
 impl AosConfig {
@@ -201,6 +208,7 @@ impl AosConfig {
             fault: None,
             trace: None,
             async_compile: None,
+            debug_hot: false,
         }
     }
 
@@ -209,35 +217,108 @@ impl AosConfig {
         Self::new(PolicyKind::ContextInsensitive)
     }
 
-    /// Default configuration for a given policy with on-stack replacement
-    /// enabled: hot baseline loops are promoted into optimized code
-    /// mid-activation, and invalidated or thrashing optimized activations
-    /// deoptimize back to baseline mid-loop instead of finishing on stale
-    /// code.
+    // --- Opt-in subsystems (builder-style, chainable) -------------------
+    //
+    // Every subsystem that is off by default — OSR, the flight recorder,
+    // asynchronous compilation, fault injection, guard-health monitoring —
+    // is enabled through one uniformly named, chainable `enable_*` method:
+    //
+    // ```
+    // # use aoci_aos::AosConfig;
+    // # use aoci_core::PolicyKind;
+    // let config = AosConfig::new(PolicyKind::Fixed { max: 3 })
+    //     .enable_osr()
+    //     .enable_trace();
+    // ```
+    //
+    // Each `enable_x` switches the subsystem on with its default tunables;
+    // subsystems with a config struct additionally have `enable_x_with` to
+    // supply non-default tunables. Disabled remains the default everywhere,
+    // and every subsystem documents that its *off* state is bit-identical
+    // to the system before the subsystem existed.
+
+    /// Enables on-stack replacement: hot baseline loops are promoted into
+    /// optimized code mid-activation, and invalidated or thrashing
+    /// optimized activations deoptimize back to baseline mid-loop instead
+    /// of finishing on stale code (DESIGN.md §7).
+    pub fn enable_osr(mut self) -> Self {
+        self.vm.osr_enabled = true;
+        self
+    }
+
+    /// Enables the flight recorder with default tunables: every layer
+    /// emits typed, cycle-timestamped events into a ring buffer the final
+    /// [`AosReport`](crate::AosReport) carries (DESIGN.md §8).
+    pub fn enable_trace(self) -> Self {
+        self.enable_trace_with(TraceConfig::default())
+    }
+
+    /// Enables the flight recorder with explicit tunables (ring capacity,
+    /// post-mortem window).
+    pub fn enable_trace_with(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Enables asynchronous background compilation with default tunables:
+    /// plans queue by predicted benefit, a simulated worker pool compiles
+    /// them while the application keeps executing baseline or stale code,
+    /// and only the unoverlapped remainder of each compile stalls the
+    /// virtual clock (DESIGN.md §10).
+    pub fn enable_async_compile(self) -> Self {
+        self.enable_async_compile_with(AsyncCompileConfig::default())
+    }
+
+    /// Enables asynchronous background compilation with explicit tunables
+    /// (worker count, queue capacity, zero-latency degenerate mode).
+    pub fn enable_async_compile_with(mut self, async_compile: AsyncCompileConfig) -> Self {
+        self.async_compile = Some(async_compile);
+        self
+    }
+
+    /// Enables fault injection with the given profile (see
+    /// [`FaultConfig::chaos`] for the everything-on profile); also implies
+    /// guard-health monitoring, as documented on
+    /// [`RecoveryConfig::monitor_guard_health`] (DESIGN.md §6).
+    pub fn enable_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Enables guard-health monitoring (and thrash invalidation) even
+    /// without fault injection — see
+    /// [`RecoveryConfig::monitor_guard_health`] for why it is off by
+    /// default.
+    pub fn enable_guard_monitoring(mut self) -> Self {
+        self.recovery.monitor_guard_health = true;
+        self
+    }
+
+    /// Enables the per-tick hot-method selection dump on stderr
+    /// ([`AosConfig::debug_hot`]).
+    pub fn enable_debug_hot(mut self) -> Self {
+        self.debug_hot = true;
+        self
+    }
+
+    // --- Legacy constructor shims ----------------------------------------
+
+    /// Legacy shim for [`AosConfig::enable_osr`].
+    #[doc(hidden)]
     pub fn with_osr(policy: PolicyKind) -> Self {
-        let mut config = Self::new(policy);
-        config.vm.osr_enabled = true;
-        config
+        Self::new(policy).enable_osr()
     }
 
-    /// Default configuration for a given policy with the flight recorder
-    /// on: every layer emits typed, cycle-timestamped events into a ring
-    /// buffer the final [`AosReport`](crate::AosReport) carries.
+    /// Legacy shim for [`AosConfig::enable_trace`].
+    #[doc(hidden)]
     pub fn with_trace(policy: PolicyKind) -> Self {
-        let mut config = Self::new(policy);
-        config.trace = Some(TraceConfig::default());
-        config
+        Self::new(policy).enable_trace()
     }
 
-    /// Default configuration for a given policy with asynchronous
-    /// background compilation on: plans queue by predicted benefit, a
-    /// simulated worker pool compiles them while the application keeps
-    /// executing baseline or stale code, and only the unoverlapped
-    /// remainder of each compile stalls the virtual clock.
+    /// Legacy shim for [`AosConfig::enable_async_compile`].
+    #[doc(hidden)]
     pub fn with_async_compile(policy: PolicyKind) -> Self {
-        let mut config = Self::new(policy);
-        config.async_compile = Some(AsyncCompileConfig::default());
-        config
+        Self::new(policy).enable_async_compile()
     }
 }
 
@@ -257,5 +338,36 @@ mod tests {
     fn cins_helper() {
         let c = AosConfig::context_insensitive();
         assert_eq!(c.policy, PolicyKind::ContextInsensitive);
+    }
+
+    #[test]
+    fn enable_builders_chain_and_compose() {
+        let c = AosConfig::new(PolicyKind::Fixed { max: 3 })
+            .enable_osr()
+            .enable_trace()
+            .enable_async_compile()
+            .enable_guard_monitoring()
+            .enable_debug_hot();
+        assert!(c.vm.osr_enabled);
+        assert!(c.trace.is_some());
+        assert!(c.async_compile.is_some());
+        assert!(c.recovery.monitor_guard_health);
+        assert!(c.debug_hot);
+        let c = AosConfig::context_insensitive()
+            .enable_async_compile_with(AsyncCompileConfig { workers: 5, ..Default::default() });
+        assert_eq!(c.async_compile.expect("enabled").workers, 5);
+    }
+
+    #[test]
+    fn legacy_shims_match_builders() {
+        let shim = AosConfig::with_osr(PolicyKind::Fixed { max: 2 });
+        let built = AosConfig::new(PolicyKind::Fixed { max: 2 }).enable_osr();
+        assert_eq!(shim.vm.osr_enabled, built.vm.osr_enabled);
+        assert!(AosConfig::with_trace(PolicyKind::ContextInsensitive).trace.is_some());
+        assert!(
+            AosConfig::with_async_compile(PolicyKind::ContextInsensitive)
+                .async_compile
+                .is_some()
+        );
     }
 }

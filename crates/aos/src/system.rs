@@ -420,7 +420,7 @@ impl<'p> AosSystem<'p> {
         // (and anything keyed to it, like the fault injector's draw
         // sequence) is deterministic.
         hot.sort_unstable_by_key(|m| m.index());
-        if std::env::var("AOCI_DEBUG_HOT").is_ok() {
+        if self.config.debug_hot {
             eprintln!("tick {}: samples={:?} min_share={} hot={:?}", self.sample_count, self.method_samples, min_share, hot);
         }
         for m in hot {

@@ -18,10 +18,10 @@ use std::hint::black_box;
 use std::time::Instant;
 
 fn iters() -> u32 {
-    std::env::var("AOCI_BENCH_ITERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200)
+    // Parsed once via the unified knob registry (`aoci_bench::env`).
+    use std::sync::OnceLock;
+    static ITERS: OnceLock<u32> = OnceLock::new();
+    *ITERS.get_or_init(|| aoci_bench::EnvConfig::from_env().bench_iters)
 }
 
 fn bench(name: &str, mut body: impl FnMut()) {

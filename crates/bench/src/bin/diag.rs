@@ -1,10 +1,34 @@
+//! Per-method compilation diagnostics, plus the experiment-knob table.
+//!
+//! * `diag [workload]` — runs the workload (default `compress`) under the
+//!   baseline and `fixed/3` policies and dumps every optimizing
+//!   compilation per method.
+//! * `diag --knobs` — prints the generated table of every `AOCI_*`
+//!   environment variable: name, type, default, and effect. Rendered
+//!   straight from the [`aoci_bench::env`] knob registry — the same
+//!   descriptors the parser reads through — so the table cannot drift
+//!   from the implementation.
+
 use aoci_aos::{AosConfig, AosSystem};
+use aoci_bench::{render_table, EnvConfig};
 use aoci_core::PolicyKind;
 use aoci_workloads::{build, spec_by_name};
 use std::collections::HashMap;
 
+fn print_knobs() {
+    println!("AOCI_* experiment knobs (all parsed once, in aoci_bench::env):\n");
+    let header =
+        vec!["variable".to_string(), "type".to_string(), "default".to_string(), "effect".to_string()];
+    println!("{}", render_table(&header, &EnvConfig::knob_rows()));
+}
+
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".into());
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--knobs") {
+        print_knobs();
+        return;
+    }
+    let name = arg.unwrap_or_else(|| "compress".into());
     let w = build(&spec_by_name(&name).unwrap());
     for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
         let report = AosSystem::new(&w.program, AosConfig::new(policy)).run().unwrap();

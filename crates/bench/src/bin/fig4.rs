@@ -3,14 +3,15 @@
 //! benchmark, for maximum sensitivity 2–5, plus the harmonic mean.
 
 use aoci_bench::{
-    fmt_pct, harmonic_mean_speedup_pct, load_or_run_grid, policy_label, render_table,
+    fmt_pct, harmonic_mean_speedup_pct, load_or_run_grid_with, policy_label, render_table, EnvConfig,
     speedup_pct, POLICY_GROUPS,
 };
 use aoci_bench::grid::max_levels;
 use aoci_workloads::suite;
 
 fn main() {
-    let grid = load_or_run_grid();
+    let env = EnvConfig::from_env();
+    let (grid, _) = load_or_run_grid_with(&env);
     let specs = suite();
     let subfig = ["(a)", "(b)", "(c)", "(d)", "(e)", "(f)"];
 
@@ -18,14 +19,14 @@ fn main() {
     for (i, (group, make)) in POLICY_GROUPS.iter().enumerate() {
         println!("Figure 4{} — {group}", subfig[i]);
         let mut header = vec!["benchmark".to_string()];
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             header.push(format!("max={max}"));
         }
         let mut rows = Vec::new();
         for spec in &specs {
             let cins = grid.get(spec.name, "cins").expect("baseline present");
             let mut row = vec![spec.name.to_string()];
-            for max in max_levels() {
+            for max in max_levels(env.quick) {
                 let label = policy_label(make(max));
                 let m = grid.get(spec.name, &label).expect("policy present");
                 row.push(fmt_pct(speedup_pct(cins, m)));
@@ -34,7 +35,7 @@ fn main() {
         }
         // Harmonic-mean row, as in the paper's rightmost bars.
         let mut hm_row = vec!["harMean".to_string()];
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             let label = policy_label(make(max));
             let pairs: Vec<_> = specs
                 .iter()
@@ -53,14 +54,14 @@ fn main() {
 
     println!("(extension) adaptive-resolving policy:");
     let mut header = vec!["benchmark".to_string()];
-    for max in max_levels() {
+    for max in max_levels(env.quick) {
         header.push(format!("max={max}"));
     }
     let mut rows = Vec::new();
     for spec in &specs {
         let cins = grid.get(spec.name, "cins").expect("baseline");
         let mut row = vec![spec.name.to_string()];
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             let m = grid
                 .get(spec.name, &format!("adaptive/{max}"))
                 .expect("adaptive present");

@@ -3,13 +3,15 @@
 //! benchmark and maximum sensitivity, plus the harmonic-mean-style average.
 
 use aoci_bench::grid::max_levels;
+use aoci_bench::{load_or_run_grid_with, EnvConfig};
 use aoci_bench::{
-    code_delta_pct, fmt_pct, load_or_run_grid, policy_label, render_table, POLICY_GROUPS,
+    code_delta_pct, fmt_pct, policy_label, render_table, POLICY_GROUPS,
 };
 use aoci_workloads::suite;
 
 fn main() {
-    let grid = load_or_run_grid();
+    let env = EnvConfig::from_env();
+    let (grid, _) = load_or_run_grid_with(&env);
     let specs = suite();
     let subfig = ["(a)", "(b)", "(c)", "(d)", "(e)", "(f)"];
 
@@ -18,14 +20,14 @@ fn main() {
     for (i, (group, make)) in POLICY_GROUPS.iter().enumerate() {
         println!("Figure 5{} — {group}", subfig[i]);
         let mut header = vec!["benchmark".to_string()];
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             header.push(format!("max={max}"));
         }
         let mut rows = Vec::new();
         for spec in &specs {
             let cins = grid.get(spec.name, "cins").expect("baseline present");
             let mut row = vec![spec.name.to_string()];
-            for max in max_levels() {
+            for max in max_levels(env.quick) {
                 let label = policy_label(make(max));
                 let m = grid.get(spec.name, &label).expect("policy present");
                 row.push(fmt_pct(code_delta_pct(cins, m)));
@@ -33,7 +35,7 @@ fn main() {
             rows.push(row);
         }
         let mut mean_row = vec!["mean".to_string()];
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             let label = policy_label(make(max));
             let mean: f64 = specs
                 .iter()
@@ -56,7 +58,7 @@ fn main() {
     for spec in &specs {
         let cins = grid.get(spec.name, "cins").expect("baseline");
         let mut row = vec![spec.name.to_string(), format!("{:.0}", cins.current_code)];
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             let m = grid
                 .get(spec.name, &format!("fixed/{max}"))
                 .expect("policy");
@@ -65,7 +67,7 @@ fn main() {
         rows.push(row);
     }
     let mut header = vec!["benchmark".to_string(), "cins units".to_string()];
-    for max in max_levels() {
+    for max in max_levels(env.quick) {
         header.push(format!("max={max}"));
     }
     println!("{}", render_table(&header, &rows));

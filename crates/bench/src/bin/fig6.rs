@@ -4,7 +4,8 @@
 //! maximum sensitivity.
 
 use aoci_bench::grid::max_levels;
-use aoci_bench::{load_or_run_grid, policy_label, render_table, RunMetrics, POLICY_GROUPS};
+use aoci_bench::{load_or_run_grid_with, EnvConfig};
+use aoci_bench::{policy_label, render_table, RunMetrics, POLICY_GROUPS};
 use aoci_vm::Component;
 use aoci_workloads::suite;
 
@@ -30,7 +31,8 @@ fn mean_fraction(ms: &[&RunMetrics], components: &[Component]) -> f64 {
 }
 
 fn main() {
-    let grid = load_or_run_grid();
+    let env = EnvConfig::from_env();
+    let (grid, _) = load_or_run_grid_with(&env);
     let specs = suite();
     // Paper's x-axis: cins, then each policy at max 2..4 (we include every
     // measured level).
@@ -43,7 +45,7 @@ fn main() {
     };
     columns.push(("cins".to_string(), gather("cins")));
     for (_, make) in POLICY_GROUPS.iter() {
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             let label = policy_label(make(max));
             columns.push((label.clone(), gather(&label)));
         }

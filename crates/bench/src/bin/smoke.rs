@@ -1,9 +1,11 @@
 use aoci_aos::{AosConfig, AosSystem, FaultConfig, TraceConfig};
+use aoci_bench::EnvConfig;
 use aoci_core::PolicyKind;
 use aoci_workloads::{build, suite};
-use std::time::Instant;
 
-/// Quick end-to-end sanity run over the whole suite.
+/// Quick end-to-end sanity run over the whole suite, executed across the
+/// `AOCI_JOBS` sweep pool (default: all cores; the per-run lines print in
+/// canonical suite × policy order whatever order the workers finish in).
 ///
 /// Set `AOCI_FAULTS=<seed>` to enable the everything-on fault-injection
 /// profile ([`FaultConfig::chaos`]) with that seed: every run must still
@@ -22,131 +24,132 @@ use std::time::Instant;
 /// additionally prints one `explain: …` line per inlining decision or
 /// refusal whose host, callee or call site matches the pattern (empty
 /// pattern matches all).
+///
+/// Run `diag --knobs` for the full knob table.
 fn main() {
-    let faults: Option<u64> = match std::env::var("AOCI_FAULTS") {
-        Ok(s) if s.trim().is_empty() => None,
-        Ok(s) => match s.trim().parse() {
-            Ok(seed) => Some(seed),
-            Err(_) => {
-                eprintln!("AOCI_FAULTS must be an integer seed, got {s:?}");
-                std::process::exit(2);
-            }
-        },
-        Err(_) => None,
-    };
-    let osr = aoci_bench::osr_enabled();
-    let trace = aoci_bench::trace_enabled();
-    let async_compile = aoci_bench::async_enabled();
-    // The post-mortem default ring (8192) is sized for crash dumps; an
-    // explicit export wants a window wide enough to span compile activity,
-    // so smoke defaults much larger (`AOCI_TRACE_CAP` overrides).
-    let trace_cap: usize = std::env::var("AOCI_TRACE_CAP")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1 << 16);
-    let explain = std::env::var("AOCI_EXPLAIN").ok();
-    let trace_out = std::env::var("AOCI_TRACE_OUT")
-        .unwrap_or_else(|_| "results/smoke_trace.json".to_string());
+    let env = EnvConfig::from_env();
+    let workloads: Vec<_> = suite().iter().map(build).collect();
+    let policies = [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }];
+
+    // The (workload × policy) smoke matrix as a job list; each job is a
+    // pure function of its descriptor and the shared immutable programs.
+    let jobs: Vec<(usize, PolicyKind)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| policies.iter().map(move |&p| (wi, p)))
+        .collect();
+    let (results, stats) = env.pool().run(jobs, |&(wi, policy)| {
+        let mut config = AosConfig::new(policy);
+        if env.osr {
+            config = config.enable_osr();
+        }
+        if env.trace {
+            config = config
+                .enable_trace_with(TraceConfig { capacity: env.trace_cap, ..TraceConfig::default() });
+        }
+        if env.async_compile {
+            config = config.enable_async_compile();
+        }
+        if env.debug_hot {
+            config = config.enable_debug_hot();
+        }
+        if let Some(seed) = env.faults {
+            config = config.enable_faults(FaultConfig::chaos(seed));
+        }
+        AosSystem::new(&workloads[wi].program, config).run().expect("runs")
+    });
+
     // Best export candidate so far: (spans inline decisions, distinct
     // kinds) lexicographically, with the run label and rendered JSON.
     let mut best_trace: Option<((bool, usize), String, String)> = None;
-    for spec in suite() {
-        let w = build(&spec);
-        for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
-            let t = Instant::now();
-            let mut config = if osr { AosConfig::with_osr(policy) } else { AosConfig::new(policy) };
-            if trace {
-                config.trace = Some(TraceConfig { capacity: trace_cap, ..TraceConfig::default() });
-            }
-            if async_compile {
-                config.async_compile = Some(aoci_aos::AsyncCompileConfig::default());
-            }
-            config.fault = faults.map(FaultConfig::chaos);
-            let report = AosSystem::new(&w.program, config).run().expect("runs");
+    for (i, jr) in results.iter().enumerate() {
+        let (wi, policy) = (i / policies.len(), policies[i % policies.len()]);
+        let (report, wall) = (&jr.output, jr.wall);
+        let w = &workloads[wi];
+        print!(
+            "{:<10} {:?}: wall={:?} cycles={} cum={} cur={} compiles={} samples={} rules={} baseline_methods={} frac_compile={:.3}% frac_listen={:.3}%",
+            w.name,
+            policy,
+            wall,
+            report.total_cycles(),
+            report.optimized_code_size,
+            report.current_optimized_size,
+            report.opt_compilations,
+            report.samples,
+            report.final_rules,
+            report.baseline_compilations,
+            report.fraction(aoci_vm::Component::CompilationThread) * 100.0,
+            report.fraction(aoci_vm::Component::Listeners) * 100.0,
+        );
+        if env.osr {
             print!(
-                "{:<10} {:?}: wall={:?} cycles={} cum={} cur={} compiles={} samples={} rules={} baseline_methods={} frac_compile={:.3}% frac_listen={:.3}%",
-                w.name,
-                policy,
-                t.elapsed(),
-                report.total_cycles(),
-                report.optimized_code_size,
-                report.current_optimized_size,
-                report.opt_compilations,
-                report.samples,
-                report.final_rules,
-                report.baseline_compilations,
-                report.fraction(aoci_vm::Component::CompilationThread) * 100.0,
-                report.fraction(aoci_vm::Component::Listeners) * 100.0,
+                " | osr: requests={} denied={} entries={} exits={}",
+                report.osr.requests, report.osr.denied, report.osr.entries, report.osr.exits,
             );
-            if osr {
-                print!(
-                    " | osr: requests={} denied={} entries={} exits={}",
-                    report.osr.requests, report.osr.denied, report.osr.entries, report.osr.exits,
-                );
-            }
-            if async_compile {
-                let ev = &report.async_compile;
-                print!(
-                    " | async: enqueued={} dispatched={} completed={} stale={} full={} abandoned={} depth={} overlap={} stall={}",
-                    ev.enqueued,
-                    ev.dispatched,
-                    ev.completed,
-                    ev.stale_drops,
-                    ev.queue_full_drops,
-                    ev.abandoned_in_flight,
-                    ev.max_queue_depth,
-                    ev.background_overlap_cycles,
-                    ev.foreground_stall_cycles,
-                );
-            }
-            if faults.is_some() {
-                let ev = &report.recovery;
-                print!(
-                    " | recovery: inval={} retries={} quarantined={} rejected={} (injected: compile={} traces={} drops={} bursts={})",
-                    ev.invalidations,
-                    ev.compile_retries,
-                    ev.quarantined_methods,
-                    ev.rejected_traces,
-                    ev.injected_compile_faults,
-                    ev.injected_corrupt_traces,
-                    ev.dropped_samples,
-                    ev.receiver_bursts,
-                );
-            }
-            if let Some((emitted, dropped, kinds)) = report.trace_summary() {
-                print!(" | trace: emitted={emitted} dropped={dropped} kinds={kinds}");
-            }
-            println!();
-            if let Some(log) = &report.trace_log {
-                let resolve = |m: aoci_ir::MethodId| w.program.method(m).name().to_string();
-                if let Some(pattern) = &explain {
-                    for line in log.explain(pattern, &resolve) {
-                        println!("explain: {line}");
-                    }
+        }
+        if env.async_compile {
+            let ev = &report.async_compile;
+            print!(
+                " | async: enqueued={} dispatched={} completed={} stale={} full={} abandoned={} depth={} overlap={} stall={}",
+                ev.enqueued,
+                ev.dispatched,
+                ev.completed,
+                ev.stale_drops,
+                ev.queue_full_drops,
+                ev.abandoned_in_flight,
+                ev.max_queue_depth,
+                ev.background_overlap_cycles,
+                ev.foreground_stall_cycles,
+            );
+        }
+        if env.faults.is_some() {
+            let ev = &report.recovery;
+            print!(
+                " | recovery: inval={} retries={} quarantined={} rejected={} (injected: compile={} traces={} drops={} bursts={})",
+                ev.invalidations,
+                ev.compile_retries,
+                ev.quarantined_methods,
+                ev.rejected_traces,
+                ev.injected_compile_faults,
+                ev.injected_corrupt_traces,
+                ev.dropped_samples,
+                ev.receiver_bursts,
+            );
+        }
+        if let Some((emitted, dropped, kinds)) = report.trace_summary() {
+            print!(" | trace: emitted={emitted} dropped={dropped} kinds={kinds}");
+        }
+        println!();
+        if let Some(log) = &report.trace_log {
+            let resolve = |m: aoci_ir::MethodId| w.program.method(m).name().to_string();
+            if let Some(pattern) = &env.explain {
+                for line in log.explain(pattern, &resolve) {
+                    println!("explain: {line}");
                 }
-                let kinds = log.kinds();
-                let score = (kinds.contains("inline-decision"), kinds.len());
-                if best_trace.as_ref().is_none_or(|(s, _, _)| score > *s) {
-                    let label = format!("{} {policy:?}", w.name);
-                    best_trace = Some((score, label, log.to_chrome_string(&resolve)));
-                }
+            }
+            let kinds = log.kinds();
+            let score = (kinds.contains("inline-decision"), kinds.len());
+            if best_trace.as_ref().is_none_or(|(s, _, _)| score > *s) {
+                let label = format!("{} {policy:?}", w.name);
+                best_trace = Some((score, label, log.to_chrome_string(&resolve)));
             }
         }
     }
     if let Some((_, label, json)) = best_trace {
-        if let Some(dir) = std::path::Path::new(&trace_out).parent() {
+        if let Some(dir) = std::path::Path::new(&env.trace_out).parent() {
             std::fs::create_dir_all(dir).expect("create trace output directory");
         }
-        std::fs::write(&trace_out, json).expect("write Chrome trace");
-        println!("trace smoke complete: Chrome trace of `{label}` written to {trace_out}");
+        std::fs::write(&env.trace_out, json).expect("write Chrome trace");
+        println!("trace smoke complete: Chrome trace of `{label}` written to {}", env.trace_out);
     }
-    if faults.is_some() {
+    if env.faults.is_some() {
         println!("fault-injected smoke complete: every run degraded gracefully");
     }
-    if osr {
+    if env.osr {
         println!("osr smoke complete: every run finished with OSR enabled");
     }
-    if async_compile {
+    if env.async_compile {
         println!("async smoke complete: every run finished with background compilation");
     }
+    println!("smoke sweep: {}", stats.render());
 }

@@ -7,12 +7,14 @@
 use aoci_bench::grid::max_levels;
 use aoci_bench::metrics::compile_delta_pct;
 use aoci_bench::{
-    code_delta_pct, load_or_run_grid, policy_label, render_table, speedup_pct, POLICY_GROUPS,
+    code_delta_pct, load_or_run_grid_with, policy_label, render_table, speedup_pct, EnvConfig,
+    POLICY_GROUPS,
 };
 use aoci_workloads::suite;
 
 fn main() {
-    let grid = load_or_run_grid();
+    let env = EnvConfig::from_env();
+    let (grid, sweep) = load_or_run_grid_with(&env);
     let specs = suite();
 
     let mut speedups: Vec<f64> = Vec::new();
@@ -22,7 +24,7 @@ fn main() {
     let mut per_policy_rows = Vec::new();
 
     for (group, make) in POLICY_GROUPS.iter() {
-        for max in max_levels() {
+        for max in max_levels(env.quick) {
             let label = policy_label(make(max));
             let mut s_sum = 0.0;
             let mut c_sum = 0.0;
@@ -102,4 +104,9 @@ fn main() {
         "  recovery actions        : {recovery_actions:.1} total (0 expected: the grid runs \
          unfaulted, and guard-health monitoring is opt-in / fault-triggered)"
     );
+    // Sweep trajectory datapoint: only printed when this invocation
+    // actually measured cells (a fully cached grid stays byte-stable).
+    if let Some(stats) = sweep {
+        println!("  sweep                   : {}", stats.render());
+    }
 }

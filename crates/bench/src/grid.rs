@@ -1,9 +1,22 @@
-//! The shared (workload × policy) measurement grid with JSON caching.
+//! The shared (workload × policy) measurement grid with JSON caching and
+//! a deterministic parallel sweep.
+//!
+//! The sweep materializes the (workload × policy × rep) matrix as a
+//! [`SweepJob`] list in **canonical order** (suite order, then policy
+//! roster order, then repetition index), runs it across the fixed-worker
+//! [`JobPool`], and merges results back by walking the job list in that
+//! same canonical order. Each job is a pure function of its descriptor
+//! (see [`run_rep`](crate::metrics::run_rep)), the pool returns results in
+//! job-list order regardless of scheduling, and [`GridStore`] is a
+//! `BTreeMap` keyed by `"workload::policy"` — three layers of ordering
+//! that together make `results/grid.json` byte-identical for any
+//! `AOCI_JOBS` value (asserted by `tests/parallel_determinism.rs`).
 
-use crate::metrics::{policy_label, run_one, RunMetrics, POLICY_GROUPS};
-use aoci_core::PolicyKind;
+use crate::env::EnvConfig;
+use crate::metrics::{aggregate, policy_label, run_rep, RunMetrics, POLICY_GROUPS};
+use aoci_core::{PolicyKind, SweepStats};
 use aoci_json::Value;
-use aoci_workloads::suite;
+use aoci_workloads::{build, suite, WorkloadSpec};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
@@ -55,32 +68,27 @@ impl GridStore {
     }
 }
 
-/// Path of the cached grid (`results/grid.json` next to the workspace
-/// root, honouring `AOCI_RESULTS_DIR`).
-pub fn grid_path() -> PathBuf {
-    let dir = std::env::var("AOCI_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
-    PathBuf::from(dir).join("grid.json")
+/// Path of the cached grid: `grid.json` under the configured results
+/// directory (`AOCI_RESULTS_DIR`).
+pub fn grid_path(env: &EnvConfig) -> PathBuf {
+    PathBuf::from(&env.results_dir).join("grid.json")
 }
 
-/// The sensitivity sweep of the paper's figures: 2–5 normally, 2–3 under
-/// `AOCI_QUICK=1`.
-pub fn max_levels() -> Vec<u8> {
-    if quick() {
+/// The sensitivity sweep of the paper's figures: 2–5 normally, 2–3 in
+/// quick mode (`AOCI_QUICK`).
+pub fn max_levels(quick: bool) -> Vec<u8> {
+    if quick {
         vec![2, 3]
     } else {
         vec![2, 3, 4, 5]
     }
 }
 
-fn quick() -> bool {
-    std::env::var("AOCI_QUICK").is_ok_and(|v| v == "1")
-}
-
 /// All policies the figures need: the context-insensitive baseline plus
 /// every group × max level (and the adaptive-resolving extension).
-pub fn all_policies() -> Vec<PolicyKind> {
+pub fn all_policies(quick: bool) -> Vec<PolicyKind> {
     let mut v = vec![PolicyKind::ContextInsensitive];
-    for max in max_levels() {
+    for max in max_levels(quick) {
         for (_, make) in POLICY_GROUPS {
             v.push(make(max));
         }
@@ -89,11 +97,102 @@ pub fn all_policies() -> Vec<PolicyKind> {
     v
 }
 
-/// Loads the cached grid (unless `AOCI_RERUN=1`), measures any missing
-/// entries, saves, and returns the complete grid.
-pub fn load_or_run_grid() -> GridStore {
-    let path = grid_path();
-    let mut store = if std::env::var("AOCI_RERUN").is_ok_and(|v| v == "1") {
+/// One repetition of one (workload × policy) cell — the unit the sweep
+/// pool schedules. `workload` indexes the spec list the job list was built
+/// from (jobs stay `Copy + Send`; the program itself is shared by
+/// reference).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Index into the sweep's spec list.
+    pub workload: usize,
+    /// Index into the sweep's policy roster.
+    pub policy: usize,
+    /// Repetition index, `0..reps`.
+    pub rep: usize,
+}
+
+/// Materializes the (workload × policy × rep) matrix as a job list in
+/// **canonical order**: workload-major, then policy, then repetition — a
+/// pure function of the three extents (property-tested in
+/// `tests/proptest_sweep.rs`). `cells` restricts the matrix to the listed
+/// (workload, policy) pairs, preserving canonical order; pass the full
+/// cross product to sweep everything.
+pub fn job_list(cells: &[(usize, usize)], reps: usize) -> Vec<SweepJob> {
+    let mut jobs = Vec::with_capacity(cells.len() * reps);
+    for &(workload, policy) in cells {
+        for rep in 0..reps {
+            jobs.push(SweepJob { workload, policy, rep });
+        }
+    }
+    jobs
+}
+
+/// Measures every (spec × policy) cell missing from `store`, running the
+/// (cell × rep) job list across the `env.jobs`-worker pool, and merges the
+/// aggregates in canonical order. Returns the sweep timing, or `None` if
+/// nothing was missing. The resulting store contents are byte-identical
+/// for any worker count.
+pub fn sweep_into(
+    store: &mut GridStore,
+    specs: &[WorkloadSpec],
+    policies: &[PolicyKind],
+    env: &EnvConfig,
+) -> Option<SweepStats> {
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for (wi, spec) in specs.iter().enumerate() {
+        for (pi, &policy) in policies.iter().enumerate() {
+            if store.get(spec.name, &policy_label(policy)).is_none() {
+                cells.push((wi, pi));
+            }
+        }
+    }
+    if cells.is_empty() {
+        return None;
+    }
+
+    // Build each needed workload once; jobs share the programs by
+    // reference (an `AosSystem` run never mutates its program).
+    let workloads: BTreeMap<usize, aoci_workloads::Workload> = cells
+        .iter()
+        .map(|&(wi, _)| wi)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|wi| (wi, build(&specs[wi])))
+        .collect();
+
+    let jobs = job_list(&cells, env.reps);
+    let total = jobs.len();
+    let (results, stats) = env.pool().run(jobs, |job| {
+        let spec = &specs[job.workload];
+        let policy = policies[job.policy];
+        eprintln!(
+            "[grid] {} × {} rep {} ({} jobs total)",
+            spec.name,
+            policy_label(policy),
+            job.rep,
+            total
+        );
+        run_rep(&workloads[&job.workload].program, spec.name, policy, job.rep, env)
+    });
+
+    // Merge in canonical cell order: results arrive in job-list order, so
+    // each cell's repetitions are one contiguous rep-ordered chunk.
+    for (ci, &(wi, pi)) in cells.iter().enumerate() {
+        let reports: Vec<_> = results[ci * env.reps..(ci + 1) * env.reps]
+            .iter()
+            .map(|r| r.output.clone())
+            .collect();
+        store.insert(aggregate(specs[wi].name, policies[pi], &reports));
+    }
+    Some(stats)
+}
+
+/// Loads the cached grid (unless `env.rerun`), measures any missing
+/// entries across the sweep pool, saves, and returns the complete grid
+/// plus the sweep timing (when anything was measured).
+pub fn load_or_run_grid_with(env: &EnvConfig) -> (GridStore, Option<SweepStats>) {
+    let path = grid_path(env);
+    let mut store = if env.rerun {
         GridStore::default()
     } else {
         std::fs::read_to_string(&path)
@@ -102,24 +201,9 @@ pub fn load_or_run_grid() -> GridStore {
             .unwrap_or_default()
     };
 
-    let specs = suite();
-    let policies = all_policies();
-    let total = specs.len() * policies.len();
-    let mut done = 0;
-    let mut dirty = false;
-    for spec in &specs {
-        for &policy in &policies {
-            done += 1;
-            let label = policy_label(policy);
-            if store.get(spec.name, &label).is_some() {
-                continue;
-            }
-            eprintln!("[grid {done}/{total}] {} × {label}", spec.name);
-            store.insert(run_one(spec, policy));
-            dirty = true;
-        }
-    }
-    if dirty {
+    let stats = sweep_into(&mut store, &suite(), &all_policies(env.quick), env);
+    if let Some(stats) = &stats {
+        eprintln!("[grid] sweep complete: {}", stats.render());
         if let Some(parent) = path.parent() {
             let _ = std::fs::create_dir_all(parent);
         }
@@ -128,7 +212,13 @@ pub fn load_or_run_grid() -> GridStore {
             eprintln!("warning: could not cache grid to {}: {e}", path.display());
         }
     }
-    store
+    (store, stats)
+}
+
+/// [`load_or_run_grid_with`] under the process environment — the figure
+/// binaries' entry point.
+pub fn load_or_run_grid() -> GridStore {
+    load_or_run_grid_with(&EnvConfig::from_env()).0
 }
 
 #[cfg(test)]
@@ -178,9 +268,26 @@ mod tests {
 
     #[test]
     fn policy_roster_covers_figures() {
-        // Without AOCI_QUICK the roster is 1 + 4 × 7 = 29 configurations.
-        let policies = all_policies();
-        assert!(policies.contains(&PolicyKind::ContextInsensitive));
-        assert!(policies.len() == 1 + max_levels().len() * 7);
+        // The full roster is 1 + 4 × 7 = 29 configurations; quick mode
+        // halves the level sweep.
+        for quick in [false, true] {
+            let policies = all_policies(quick);
+            assert!(policies.contains(&PolicyKind::ContextInsensitive));
+            assert!(policies.len() == 1 + max_levels(quick).len() * 7);
+        }
+    }
+
+    #[test]
+    fn job_list_is_canonical_and_complete() {
+        let cells = vec![(0, 0), (0, 2), (3, 1)];
+        let jobs = job_list(&cells, 2);
+        assert_eq!(jobs.len(), 6);
+        // Cell-major, rep-minor, in the given cell order.
+        assert_eq!(jobs[0], SweepJob { workload: 0, policy: 0, rep: 0 });
+        assert_eq!(jobs[1], SweepJob { workload: 0, policy: 0, rep: 1 });
+        assert_eq!(jobs[2], SweepJob { workload: 0, policy: 2, rep: 0 });
+        assert_eq!(jobs[5], SweepJob { workload: 3, policy: 1, rep: 1 });
+        // Pure function: rebuilding yields the identical list.
+        assert_eq!(jobs, job_list(&cells, 2));
     }
 }

@@ -20,15 +20,25 @@
 //! `results/grid.json` so the figure binaries share one sweep; delete the
 //! file (or set `AOCI_RERUN=1`) to re-measure. `AOCI_QUICK=1` runs a
 //! reduced grid for fast iteration.
+//!
+//! Sweeps run the (workload × policy × rep) matrix across a fixed-worker
+//! job pool — `AOCI_JOBS=N` selects the worker count (default: all cores;
+//! `1` is the serial path) and `results/grid.json` is **byte-identical**
+//! for any value. Every `AOCI_*` knob is parsed once, in [`env`]; run
+//! `diag --knobs` for the generated table.
 
+pub mod env;
 pub mod grid;
 pub mod metrics;
 pub mod table;
 
-pub use grid::{grid_path, load_or_run_grid, GridKey, GridStore};
+pub use env::{EnvConfig, Knob, KNOBS};
+pub use grid::{
+    grid_path, job_list, load_or_run_grid, load_or_run_grid_with, sweep_into, GridKey,
+    GridStore, SweepJob,
+};
 pub use metrics::{
-    async_enabled, code_delta_pct, harmonic_mean_speedup_pct, osr_enabled, policy_label,
-    run_config, run_one,
-    speedup_pct, trace_enabled, RunMetrics, POLICY_GROUPS,
+    aggregate, code_delta_pct, harmonic_mean_speedup_pct, policy_label, run_config, run_one,
+    run_rep, speedup_pct, RunMetrics, POLICY_GROUPS,
 };
 pub use table::{fmt_pct, render_table};

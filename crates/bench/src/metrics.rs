@@ -1,6 +1,14 @@
 //! Single-run measurement and derived metrics.
+//!
+//! The unit of work is one **repetition**: [`run_rep`] is a pure function
+//! of `(program, policy, rep, EnvConfig)` with no ambient environment
+//! reads, so repetitions are `Send` jobs the parallel sweep pool can
+//! execute in any order. [`aggregate`] folds a rep-ordered report slice
+//! into one [`RunMetrics`] deterministically, which keeps
+//! `results/grid.json` byte-identical for any `AOCI_JOBS` worker count.
 
-use aoci_aos::{AosConfig, AosSystem};
+use crate::env::EnvConfig;
+use aoci_aos::{AosConfig, AosReport, AosSystem};
 use aoci_core::PolicyKind;
 use aoci_json::Value;
 use aoci_vm::{Component, COMPONENTS};
@@ -98,60 +106,62 @@ pub struct RunMetrics {
     pub recovery_rejected_traces: f64,
 }
 
-/// Number of repetitions per configuration (`AOCI_REPS`, default 3).
-pub fn reps() -> usize {
-    std::env::var("AOCI_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3)
-}
-
-/// `true` when the sweep should run with OSR enabled (`AOCI_OSR=1`); the
-/// default (off) matches the paper's non-OSR AOS — see DESIGN.md §7.
-pub fn osr_enabled() -> bool {
-    std::env::var("AOCI_OSR").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
-}
-
-/// `true` when runs should record flight-recorder event traces
-/// (`AOCI_TRACE=1`). Recording charges no simulated cycles, so a traced
-/// run's metrics are byte-identical to an untraced run's (asserted by
-/// `tracing_does_not_perturb_metrics` below) and the grid cache does not
-/// key on this flag.
-pub fn trace_enabled() -> bool {
-    std::env::var("AOCI_TRACE").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
-}
-
-/// `true` when the sweep should compile asynchronously (`AOCI_ASYNC=1`):
-/// plans queue by predicted benefit and a simulated worker pool overlaps
-/// compilation with execution. The default (off) preserves the synchronous
-/// compile-inside-the-tick model, byte-identical to earlier grids.
-pub fn async_enabled() -> bool {
-    std::env::var("AOCI_ASYNC").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
-}
-
 /// Builds the AOS configuration for one repetition: repetitions perturb the
 /// sampling period slightly, emulating the timer non-determinism the paper
-/// handles with a best-of-20 protocol.
-pub fn run_config(policy: PolicyKind, rep: usize) -> AosConfig {
-    let mut config = if osr_enabled() {
-        AosConfig::with_osr(policy)
-    } else {
-        AosConfig::new(policy)
-    };
-    if trace_enabled() {
-        config.trace = Some(aoci_aos::TraceConfig::default());
+/// handles with a best-of-20 protocol. A pure function of its arguments —
+/// the sweep flags (OSR, tracing, async compilation) come from the
+/// [`EnvConfig`] parsed once at the entry point, never from ambient reads.
+pub fn run_config(env: &EnvConfig, policy: PolicyKind, rep: usize) -> AosConfig {
+    let mut config = AosConfig::new(policy);
+    if env.osr {
+        config = config.enable_osr();
     }
-    if async_enabled() {
-        config.async_compile = Some(aoci_aos::AsyncCompileConfig::default());
+    if env.trace {
+        config = config.enable_trace();
+    }
+    if env.async_compile {
+        config = config.enable_async_compile();
+    }
+    if env.debug_hot {
+        config = config.enable_debug_hot();
     }
     config.cost.sample_period += (rep as u64) * 37;
     config
 }
 
-/// Runs one (workload, policy) configuration `reps` times and aggregates.
-pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
+/// Runs one repetition of one (workload, policy) configuration — the
+/// sweep pool's job function. Deterministic: the run is a pure function of
+/// `(program, policy, rep, env)` on its own simulated clock.
+pub fn run_rep(
+    program: &aoci_ir::Program,
+    workload: &str,
+    policy: PolicyKind,
+    rep: usize,
+    env: &EnvConfig,
+) -> AosReport {
+    AosSystem::new(program, run_config(env, policy, rep))
+        .run()
+        .unwrap_or_else(|e| panic!("{workload}/{policy:?} rep {rep} faulted: {e}"))
+}
+
+/// Runs one (workload, policy) configuration `env.reps` times — across the
+/// sweep pool when `env.jobs > 1` — and aggregates.
+pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind, env: &EnvConfig) -> RunMetrics {
     let w = build(spec);
-    let n = reps();
+    let reports = env.pool().map((0..env.reps).collect(), |&rep| {
+        run_rep(&w.program, spec.name, policy, rep, env)
+    });
+    aggregate(spec.name, policy, &reports)
+}
+
+/// Folds the rep-ordered reports of one (workload, policy) cell into its
+/// [`RunMetrics`] entry. The fold iterates reports **in repetition order**
+/// whatever order the pool finished them in, so every float accumulation
+/// happens in the same sequence as the legacy serial loop — byte-identical
+/// aggregates for any worker count.
+pub fn aggregate(workload: &str, policy: PolicyKind, reports: &[AosReport]) -> RunMetrics {
+    let n = reports.len();
+    assert!(n > 0, "at least one repetition");
     let mut totals: Vec<u64> = Vec::with_capacity(n);
     let mut cumulative = 0.0;
     let mut current = 0.0;
@@ -175,10 +185,7 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
     let mut osr_denied = 0.0;
     let mut osr_entries = 0.0;
     let mut osr_exits = 0.0;
-    for rep in 0..n {
-        let report = AosSystem::new(&w.program, run_config(policy, rep))
-            .run()
-            .unwrap_or_else(|e| panic!("{}/{policy:?} rep {rep} faulted: {e}", spec.name));
+    for report in reports {
         totals.push(report.total_cycles());
         cumulative += report.optimized_code_size as f64;
         current += report.current_optimized_size as f64;
@@ -214,7 +221,7 @@ pub fn run_one(spec: &WorkloadSpec, policy: PolicyKind) -> RunMetrics {
     let inv = 1.0 / n as f64;
     let stats = first_stats.expect("at least one repetition");
     RunMetrics {
-        workload: spec.name.to_string(),
+        workload: workload.to_string(),
         policy: policy_label(policy),
         total_cycles: totals[totals.len() / 2],
         cumulative_code: cumulative * inv,

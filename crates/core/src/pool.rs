@@ -1,0 +1,224 @@
+//! A deterministic fixed-worker job pool for sweep harnesses.
+//!
+//! Every AOCI experiment is a matrix of independent simulations — each
+//! `AosSystem` run owns its program copy of state and advances its own
+//! simulated clock, so cells of the (workload × policy × rep) grid share
+//! nothing. This module makes that isolation an API: a **job** is a
+//! `Send` descriptor evaluated by a pure-per-job function, the pool runs
+//! jobs across a fixed number of OS threads (std scoped threads, no
+//! dependencies), and results are returned **in job-list order** no matter
+//! which worker finished first or in what interleaving. Anything merged
+//! from the result vector in a deterministic fold is therefore
+//! byte-identical for any worker count; `workers == 1` degenerates to the
+//! plain serial loop (no threads are spawned at all).
+//!
+//! The only observable difference between worker counts is wall-clock
+//! time, which the pool measures per job so harnesses can report sweep
+//! speedups ([`SweepStats`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished job: its output plus the wall-clock time it took.
+#[derive(Clone, Debug)]
+pub struct JobResult<R> {
+    /// The job function's return value.
+    pub output: R,
+    /// Wall-clock duration of this job alone.
+    pub wall: Duration,
+}
+
+/// Aggregate timing of one pool sweep, for speedup reporting.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepStats {
+    /// Number of jobs executed.
+    pub jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Sum of per-job wall-clock times (serial-equivalent work).
+    pub busy: Duration,
+}
+
+impl SweepStats {
+    /// Observed speedup: serial-equivalent work over elapsed wall clock.
+    /// `1.0` for a serial sweep (modulo scheduling overhead), approaching
+    /// `workers` when the jobs balance perfectly.
+    pub fn speedup(&self) -> f64 {
+        if self.wall.is_zero() {
+            1.0
+        } else {
+            self.busy.as_secs_f64() / self.wall.as_secs_f64()
+        }
+    }
+
+    /// One-line human-readable summary for harness logs.
+    pub fn render(&self) -> String {
+        format!(
+            "{} jobs on {} worker{}: wall={:.2?} busy={:.2?} speedup={:.2}x",
+            self.jobs,
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.wall,
+            self.busy,
+            self.speedup()
+        )
+    }
+}
+
+/// A fixed-size worker pool over which a job list is swept.
+#[derive(Clone, Copy, Debug)]
+pub struct JobPool {
+    workers: usize,
+}
+
+/// The default worker count: the machine's available parallelism (`1` when
+/// it cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+impl Default for JobPool {
+    fn default() -> Self {
+        JobPool::new(default_workers())
+    }
+}
+
+impl JobPool {
+    /// A pool with exactly `workers` threads (clamped to at least 1).
+    /// `JobPool::new(1)` is the deterministic serial path.
+    pub fn new(workers: usize) -> Self {
+        JobPool { workers: workers.max(1) }
+    }
+
+    /// Number of worker threads this pool runs.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every job and returns outputs **in job order**,
+    /// together with sweep timing.
+    ///
+    /// `f` must be a pure function of its job (plus shared immutable
+    /// captures): no ambient environment reads, no shared mutable state —
+    /// the pool guarantees result *order*, the job function must guarantee
+    /// result *values*, and together that makes any downstream merge
+    /// independent of the worker count.
+    pub fn run<J, R, F>(&self, jobs: Vec<J>, f: F) -> (Vec<JobResult<R>>, SweepStats)
+    where
+        J: Send + Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        let started = Instant::now();
+        let n = jobs.len();
+        let workers = self.workers.min(n.max(1));
+        let mut results: Vec<Option<JobResult<R>>> = Vec::with_capacity(n);
+
+        if workers <= 1 {
+            // Serial path: no threads, exact legacy behaviour.
+            for job in &jobs {
+                let t = Instant::now();
+                let output = f(job);
+                results.push(Some(JobResult { output, wall: t.elapsed() }));
+            }
+        } else {
+            results.resize_with(n, || None);
+            let slots = Mutex::new(&mut results);
+            let next = AtomicUsize::new(0);
+            let jobs = &jobs;
+            let f = &f;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        // Claim the next unstarted job; each index is
+                        // handed out exactly once, so every slot is
+                        // written exactly once.
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let t = Instant::now();
+                        let output = f(&jobs[i]);
+                        let wall = t.elapsed();
+                        slots.lock().expect("no worker panicked holding the slot lock")[i] =
+                            Some(JobResult { output, wall });
+                    });
+                }
+            });
+        }
+
+        let results: Vec<JobResult<R>> = results
+            .into_iter()
+            .map(|r| r.expect("every job slot filled"))
+            .collect();
+        let busy = results.iter().map(|r| r.wall).sum();
+        let stats =
+            SweepStats { jobs: n, workers: self.workers, wall: started.elapsed(), busy };
+        (results, stats)
+    }
+
+    /// [`JobPool::run`] without the per-job timing wrapper: just the
+    /// outputs, in job order.
+    pub fn map<J, R, F>(&self, jobs: Vec<J>, f: F) -> Vec<R>
+    where
+        J: Send + Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        self.run(jobs, f).0.into_iter().map(|r| r.output).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..97).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let pool = JobPool::new(workers);
+            let out = pool.map(jobs.clone(), |&j| j * j);
+            assert_eq!(out, jobs.iter().map(|j| j * j).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_nontrivial_fold() {
+        // A fold sensitive to order: concatenation.
+        let jobs: Vec<usize> = (0..40).collect();
+        let render = |pool: &JobPool| {
+            pool.map(jobs.clone(), |&j| format!("{j}:{};", j % 7))
+                .concat()
+        };
+        let serial = render(&JobPool::new(1));
+        for workers in [2, 5, 16] {
+            assert_eq!(render(&JobPool::new(workers)), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(JobPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let (out, stats) = JobPool::new(4).run(Vec::<u32>::new(), |&j| j);
+        assert!(out.is_empty());
+        assert_eq!(stats.jobs, 0);
+    }
+
+    #[test]
+    fn stats_account_every_job() {
+        let (out, stats) = JobPool::new(3).run((0..10).collect::<Vec<u32>>(), |&j| j + 1);
+        assert_eq!(stats.jobs, 10);
+        assert_eq!(stats.workers, 3);
+        assert_eq!(out.len(), 10);
+        assert!(stats.busy >= out.iter().map(|r| r.wall).sum());
+        assert!(stats.speedup() > 0.0);
+    }
+}

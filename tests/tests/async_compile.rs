@@ -23,10 +23,8 @@ use aoci_vm::{CostModel, Value, Vm, COMPONENTS};
 use aoci_workloads::{build, spec_by_name, WorkloadSpec};
 
 fn oracle_seed() -> u64 {
-    std::env::var("AOCI_ORACLE_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
+    // Through the unified knob registry — no scattered env parsing.
+    aoci_bench::EnvConfig::from_env().oracle_seed
 }
 
 fn small(name: &str) -> WorkloadSpec {

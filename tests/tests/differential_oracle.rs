@@ -8,28 +8,23 @@
 //! deterministic simulated clock.
 //!
 //! The fault seed comes from `AOCI_ORACLE_SEED` (default 1), so a CI matrix
-//! can sweep seeds without touching the code.
+//! can sweep seeds without touching the code; `AOCI_ASYNC=1` reruns the
+//! whole matrix with the asynchronous background-compilation pool on — the
+//! CI `async-smoke` job sweeps the same seeds through this switch. Both
+//! knobs arrive through the unified [`EnvConfig`] (parsed once per test),
+//! and each workload's policy × OSR × chaos matrix is executed across the
+//! `AOCI_JOBS` sweep pool: every configuration is a pure `Send` job, and
+//! the assertions walk the results in canonical matrix order, so the test
+//! outcome — and the serialized reports, see `parallel_determinism.rs` —
+//! is identical for any worker count.
 
 use aoci_aos::{
     AosConfig, AosReport, AosSystem, AsyncCompileConfig, FaultConfig, OsrEvents, TraceConfig,
 };
+use aoci_bench::EnvConfig;
 use aoci_core::PolicyKind;
 use aoci_vm::{CostModel, Value, Vm, COMPONENTS};
 use aoci_workloads::{build, spec_by_name, WorkloadSpec};
-
-fn oracle_seed() -> u64 {
-    std::env::var("AOCI_ORACLE_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1)
-}
-
-/// `AOCI_ASYNC=1` reruns the whole oracle matrix with the asynchronous
-/// background-compilation pool on (default worker/queue settings) — the CI
-/// `async-smoke` job sweeps the same seeds through this switch.
-fn async_enabled() -> bool {
-    std::env::var("AOCI_ASYNC").is_ok_and(|s| !s.trim().is_empty() && s.trim() != "0")
-}
 
 /// A shrunken suite workload: same structure, short run (debug mode), but
 /// long enough for the main loop to cross the OSR back-edge threshold the
@@ -52,18 +47,22 @@ fn oracle_result(program: &aoci_ir::Program) -> Option<Value> {
 /// One adaptive configuration of the matrix. A prime sample period keeps
 /// the deterministic sampler from aliasing against fixed loop costs, and a
 /// low back-edge threshold lets the short runs exercise promotion.
-fn config(policy: PolicyKind, osr: bool, fault: Option<FaultConfig>) -> AosConfig {
-    let mut c = if osr { AosConfig::with_osr(policy) } else { AosConfig::new(policy) };
+fn config(policy: PolicyKind, osr: bool, fault: Option<FaultConfig>, env: &EnvConfig) -> AosConfig {
+    let mut c = AosConfig::new(policy).enable_guard_monitoring();
+    if osr {
+        c = c.enable_osr();
+    }
+    if env.async_compile {
+        c = c.enable_async_compile_with(AsyncCompileConfig::default());
+    }
+    if let Some(f) = fault {
+        c = c.enable_faults(f);
+    }
     c.cost = CostModel { sample_period: 2_003, ..CostModel::default() };
     c.hot_method_samples = 2;
     c.organizer_period_samples = 4;
     c.missing_edge_period_samples = 8;
     c.vm.osr_backedge_threshold = 48;
-    c.recovery.monitor_guard_health = true;
-    c.fault = fault;
-    if async_enabled() {
-        c.async_compile = Some(AsyncCompileConfig::default());
-    }
     c
 }
 
@@ -99,34 +98,49 @@ const ALL_POLICIES: [PolicyKind; 3] = [
     PolicyKind::AdaptiveResolving { max: 3 },
 ];
 
-/// Runs `name` under each policy in `policies`, crossed with ±OSR and
-/// ±fault injection, each twice. The full 3-policy cross on all eight
-/// workloads costs minutes of 1-core wall clock, so only the cheapest
-/// workload gets `ALL_POLICIES`; the rest rotate through single policies
-/// such that the suite as a whole still covers every policy several times.
-fn check_workload(name: &str, policies: &[PolicyKind]) {
-    let seed = oracle_seed();
-    let w = build(&small(name));
-    let expected = oracle_result(&w.program);
+/// The policy × ±OSR × ±chaos configuration matrix for one workload, in
+/// canonical order (policy-major, then OSR, then fault).
+fn matrix(policies: &[PolicyKind], seed: u64) -> Vec<(PolicyKind, bool, Option<FaultConfig>)> {
+    let mut m = Vec::new();
     for &policy in policies {
         for osr in [false, true] {
             for fault in [None, Some(FaultConfig::chaos(seed))] {
-                let what = format!(
-                    "{name}/{policy}/osr={osr}/fault={}/seed={seed}",
-                    fault.is_some()
-                );
-                let a = run(&w.program, config(policy, osr, fault.clone()));
-                let b = run(&w.program, config(policy, osr, fault.clone()));
-                assert_eq!(a.result, expected, "{what}: diverged from the oracle");
-                assert_identical(&a, &b, &what);
-                if !osr {
-                    assert_eq!(
-                        a.osr,
-                        OsrEvents::default(),
-                        "{what}: OSR events recorded while disabled"
-                    );
-                }
+                m.push((policy, osr, fault));
             }
+        }
+    }
+    m
+}
+
+/// Runs `name` under each policy in `policies`, crossed with ±OSR and
+/// ±fault injection, each twice — the whole matrix executed across the
+/// `AOCI_JOBS` sweep pool, one (config, rerun) pair per job. The full
+/// 3-policy cross on all eight workloads costs minutes of 1-core wall
+/// clock, so only the cheapest workload gets `ALL_POLICIES`; the rest
+/// rotate through single policies such that the suite as a whole still
+/// covers every policy several times.
+fn check_workload(name: &str, policies: &[PolicyKind]) {
+    let env = EnvConfig::from_env();
+    let seed = env.oracle_seed;
+    let w = build(&small(name));
+    let expected = oracle_result(&w.program);
+    let cells = matrix(policies, seed);
+    let results = env.pool().map(cells.clone(), |(policy, osr, fault)| {
+        let a = run(&w.program, config(*policy, *osr, fault.clone(), &env));
+        let b = run(&w.program, config(*policy, *osr, fault.clone(), &env));
+        (a, b)
+    });
+    for ((policy, osr, fault), (a, b)) in cells.iter().zip(results) {
+        let what =
+            format!("{name}/{policy}/osr={osr}/fault={}/seed={seed}", fault.is_some());
+        assert_eq!(a.result, expected, "{what}: diverged from the oracle");
+        assert_identical(&a, &b, &what);
+        if !osr {
+            assert_eq!(
+                a.osr,
+                OsrEvents::default(),
+                "{what}: OSR events recorded while disabled"
+            );
         }
     }
 }
@@ -178,20 +192,26 @@ fn oracle_jbb() {
 /// untraced run of the same configuration.
 #[test]
 fn oracle_traced_reruns_are_bit_identical() {
-    let seed = oracle_seed();
+    let env = EnvConfig::from_env();
+    let seed = env.oracle_seed;
     let w = build(&small("compress"));
     let resolve = |m: aoci_ir::MethodId| w.program.method(m).name().to_string();
     // OSR + chaos faults on, so the stream covers promotion, denial,
     // recovery and injection events, not just the steady-state loop.
     let traced = |policy| {
-        let mut c = config(policy, true, Some(FaultConfig::chaos(seed)));
-        c.trace = Some(TraceConfig::default());
-        c
+        config(policy, true, Some(FaultConfig::chaos(seed)), &env)
+            .enable_trace_with(TraceConfig::default())
     };
-    for policy in ALL_POLICIES {
-        let what = format!("traced compress/{policy}/seed={seed}");
+    // Three runs per policy (two traced, one untraced), fanned out across
+    // the sweep pool; assertions walk the results in policy order.
+    let runs = env.pool().map(ALL_POLICIES.to_vec(), |&policy| {
         let a = run(&w.program, traced(policy));
         let b = run(&w.program, traced(policy));
+        let untraced = run(&w.program, config(policy, true, Some(FaultConfig::chaos(seed)), &env));
+        (a, b, untraced)
+    });
+    for (policy, (a, b, untraced)) in ALL_POLICIES.into_iter().zip(runs) {
+        let what = format!("traced compress/{policy}/seed={seed}");
         assert_identical(&a, &b, &what);
 
         let (log_a, log_b) = (a.trace_log.as_ref().unwrap(), b.trace_log.as_ref().unwrap());
@@ -216,7 +236,6 @@ fn oracle_traced_reruns_are_bit_identical() {
         // Zero-overhead: the traced run's metrics equal the untraced run's.
         // Only the post-mortem dump (which an untraced run cannot carry)
         // differs; every measured quantity must agree.
-        let untraced = run(&w.program, config(policy, true, Some(FaultConfig::chaos(seed))));
         let mut scrubbed = a.clone();
         scrubbed.recovery.trace_dump.clear();
         assert_identical(&scrubbed, &untraced, &format!("{what} vs untraced"));
@@ -226,16 +245,19 @@ fn oracle_traced_reruns_are_bit_identical() {
 /// The Figure 1 motivating example through the same oracle.
 #[test]
 fn oracle_hashmap_motivation() {
+    let env = EnvConfig::from_env();
     let program = aoci_workloads::hashmap_test(600);
     let expected = oracle_result(&program);
-    let seed = oracle_seed();
-    for osr in [false, true] {
-        for fault in [None, Some(FaultConfig::chaos(seed))] {
-            let what = format!("hashmap/osr={osr}/fault={}", fault.is_some());
-            let a = run(&program, config(PolicyKind::Fixed { max: 3 }, osr, fault.clone()));
-            let b = run(&program, config(PolicyKind::Fixed { max: 3 }, osr, fault.clone()));
-            assert_eq!(a.result, expected, "{what}: diverged from the oracle");
-            assert_identical(&a, &b, &what);
-        }
+    let seed = env.oracle_seed;
+    let cells = matrix(&[PolicyKind::Fixed { max: 3 }], seed);
+    let results = env.pool().map(cells.clone(), |(policy, osr, fault)| {
+        let a = run(&program, config(*policy, *osr, fault.clone(), &env));
+        let b = run(&program, config(*policy, *osr, fault.clone(), &env));
+        (a, b)
+    });
+    for ((_, osr, fault), (a, b)) in cells.iter().zip(results) {
+        let what = format!("hashmap/osr={osr}/fault={}", fault.is_some());
+        assert_eq!(a.result, expected, "{what}: diverged from the oracle");
+        assert_identical(&a, &b, &what);
     }
 }

@@ -1,0 +1,129 @@
+//! The parallel sweep harness's core guarantee: **worker count is not an
+//! input to any measured result**. The grid, the per-cell aggregates and
+//! the differential-oracle reports must serialize to the same bytes under
+//! `AOCI_JOBS=1` (the serial legacy path), `2` and `8` — the job pool only
+//! reorders *when* work happens on the wall clock, never *what* any job
+//! computes or the order results are merged in.
+
+use aoci_aos::{AosConfig, FaultConfig};
+use aoci_bench::{run_one, sweep_into, EnvConfig, GridStore};
+use aoci_core::PolicyKind;
+use aoci_vm::CostModel;
+use aoci_workloads::{build, spec_by_name, WorkloadSpec};
+
+/// Worker counts the determinism contract is asserted over.
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// An explicit configuration differing from the defaults only in worker
+/// count and a short rep count — tests never read the ambient environment,
+/// so they cannot be perturbed by (or race on) process-global state.
+fn env_with_jobs(jobs: usize) -> EnvConfig {
+    EnvConfig { jobs, reps: 2, ..EnvConfig::default() }
+}
+
+/// A shrunken suite workload: same structure, short run.
+fn small(name: &str) -> WorkloadSpec {
+    let mut spec = spec_by_name(name).expect("suite workload");
+    spec.iterations = 150;
+    spec
+}
+
+/// `grid.json` bytes are identical whether the sweep ran serially or on 2
+/// or 8 workers.
+#[test]
+fn grid_json_is_byte_identical_across_job_counts() {
+    let specs = vec![small("compress"), small("db")];
+    let policies = vec![
+        PolicyKind::ContextInsensitive,
+        PolicyKind::Fixed { max: 2 },
+        PolicyKind::AdaptiveResolving { max: 2 },
+    ];
+    let mut baseline: Option<String> = None;
+    for jobs in JOB_COUNTS {
+        let mut store = GridStore::default();
+        let stats = sweep_into(&mut store, &specs, &policies, &env_with_jobs(jobs))
+            .expect("an empty store has cells to measure");
+        assert_eq!(stats.jobs, specs.len() * policies.len() * 2, "jobs={jobs}");
+        let json = store.to_json();
+        match &baseline {
+            None => baseline = Some(json),
+            Some(b) => assert_eq!(
+                &json, b,
+                "grid.json bytes diverged between AOCI_JOBS=1 and AOCI_JOBS={jobs}"
+            ),
+        }
+    }
+}
+
+/// A cached grid is not re-measured: sweeping the same matrix into a full
+/// store is a no-op for any worker count.
+#[test]
+fn full_store_sweeps_nothing() {
+    let specs = vec![small("db")];
+    let policies = vec![PolicyKind::Fixed { max: 2 }];
+    let mut store = GridStore::default();
+    sweep_into(&mut store, &specs, &policies, &env_with_jobs(2)).expect("measures the cell");
+    let before = store.to_json();
+    assert!(sweep_into(&mut store, &specs, &policies, &env_with_jobs(8)).is_none());
+    assert_eq!(store.to_json(), before);
+}
+
+/// The per-cell rep loop (`run_one`) aggregates identically whether its
+/// repetitions ran serially or across the pool.
+#[test]
+fn run_one_rep_loop_is_worker_count_invariant() {
+    let spec = small("jess");
+    let policy = PolicyKind::Fixed { max: 3 };
+    let serial = run_one(&spec, policy, &env_with_jobs(1)).to_value();
+    for jobs in [2, 8] {
+        let parallel = run_one(&spec, policy, &env_with_jobs(jobs)).to_value();
+        assert_eq!(
+            aoci_json::to_string(&parallel),
+            aoci_json::to_string(&serial),
+            "run_one aggregate diverged at jobs={jobs}"
+        );
+    }
+}
+
+/// The differential-oracle matrix — policy × ±OSR × ±chaos, the same shape
+/// `differential_oracle.rs` runs — serializes to byte-identical reports
+/// for any worker count.
+#[test]
+fn oracle_reports_are_byte_identical_across_job_counts() {
+    let w = build(&small("compress"));
+    let seed = 7;
+    let mut cells: Vec<(PolicyKind, bool, bool)> = Vec::new();
+    for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
+        for osr in [false, true] {
+            for chaos in [false, true] {
+                cells.push((policy, osr, chaos));
+            }
+        }
+    }
+    let render = |jobs: usize| -> String {
+        let env = env_with_jobs(jobs);
+        env.pool()
+            .map(cells.clone(), |&(policy, osr, chaos)| {
+                let mut c = AosConfig::new(policy).enable_guard_monitoring();
+                if osr {
+                    c = c.enable_osr();
+                }
+                if chaos {
+                    c = c.enable_faults(FaultConfig::chaos(seed));
+                }
+                c.cost = CostModel { sample_period: 2_003, ..CostModel::default() };
+                c.hot_method_samples = 2;
+                c.organizer_period_samples = 4;
+                c.missing_edge_period_samples = 8;
+                c.vm.osr_backedge_threshold = 48;
+                let report = aoci_aos::AosSystem::new(&w.program, c).run().expect("runs");
+                format!("{policy}/osr={osr}/chaos={chaos}: {}\n", aoci_json::to_string(&report.to_value()))
+            })
+            .concat()
+    };
+    let serial = render(1);
+    assert!(serial.len() > cells.len(), "reports rendered");
+    for jobs in [2, 8] {
+        assert_eq!(render(jobs), serial, "oracle reports diverged at jobs={jobs}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests on the sweep harness's job ordering: the job list
+//! is a **pure function** of the (workload, policy, rep) extents, fully
+//! independent of worker count, scheduling, or anything else — which is
+//! the first of the three ordering layers behind byte-identical
+//! `results/grid.json` output (see `crates/bench/src/grid.rs`).
+
+use aoci_bench::{job_list, SweepJob};
+use aoci_core::JobPool;
+use proptest::prelude::*;
+
+/// The full (workload × policy) cross product in canonical order.
+fn cross(nw: usize, np: usize) -> Vec<(usize, usize)> {
+    let mut cells = Vec::with_capacity(nw * np);
+    for w in 0..nw {
+        for p in 0..np {
+            cells.push((w, p));
+        }
+    }
+    cells
+}
+
+proptest! {
+    /// For a full cross product, the job at index `i` is determined by
+    /// arithmetic alone: workload-major, policy next, rep minor.
+    #[test]
+    fn job_index_is_pure_arithmetic(nw in 1usize..6, np in 1usize..6, reps in 1usize..5) {
+        let jobs = job_list(&cross(nw, np), reps);
+        prop_assert_eq!(jobs.len(), nw * np * reps);
+        for (i, job) in jobs.iter().enumerate() {
+            let expected = SweepJob {
+                workload: i / (np * reps),
+                policy: (i / reps) % np,
+                rep: i % reps,
+            };
+            prop_assert_eq!(*job, expected, "index {}", i);
+        }
+    }
+
+    /// The list is an exact enumeration: every (workload, policy, rep)
+    /// triple appears exactly once, in strictly increasing canonical
+    /// (lexicographic) order — no duplicates, no holes, no reordering.
+    #[test]
+    fn job_list_enumerates_each_triple_once(nw in 1usize..6, np in 1usize..6, reps in 1usize..5) {
+        let jobs = job_list(&cross(nw, np), reps);
+        let triples: Vec<_> = jobs.iter().map(|j| (j.workload, j.policy, j.rep)).collect();
+        let mut sorted = triples.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&triples, &sorted, "canonical order is sorted + duplicate-free");
+        prop_assert_eq!(triples.len(), nw * np * reps);
+    }
+
+    /// Rebuilding from the same extents yields the identical list, and a
+    /// restriction to a subset of cells preserves the relative order of
+    /// the surviving jobs (the cache-miss sweep is a filtered sweep).
+    #[test]
+    fn job_list_is_deterministic_and_restriction_is_a_subsequence(
+        nw in 1usize..5,
+        np in 1usize..5,
+        reps in 1usize..4,
+        keep in prop::collection::vec(any::<bool>(), 16..25),
+    ) {
+        let cells = cross(nw, np);
+        prop_assert_eq!(job_list(&cells, reps), job_list(&cells, reps));
+        let subset: Vec<_> = cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep[i % keep.len()])
+            .map(|(_, &c)| c)
+            .collect();
+        let full = job_list(&cells, reps);
+        let restricted = job_list(&subset, reps);
+        // Every restricted job appears in the full list, in the same
+        // relative order (subsequence check).
+        let mut it = full.iter();
+        for job in &restricted {
+            prop_assert!(
+                it.any(|j| j == job),
+                "restricted job {:?} out of order w.r.t. the full list", job
+            );
+        }
+    }
+
+    /// The pool returns results in job-list order for any worker count:
+    /// mapping the identity over a job list reproduces the list itself,
+    /// whether the pool ran serially or across threads.
+    #[test]
+    fn pool_preserves_job_order(
+        nw in 1usize..4,
+        np in 1usize..4,
+        reps in 1usize..4,
+        workers in 1usize..9,
+    ) {
+        let jobs = job_list(&cross(nw, np), reps);
+        let echoed = JobPool::new(workers).map(jobs.clone(), |&j| j);
+        prop_assert_eq!(echoed, jobs);
+    }
+}
