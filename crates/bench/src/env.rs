@@ -170,6 +170,24 @@ pub const DEBUG_HOT: Knob = Knob {
              (diagnostics only; simulated behaviour is unchanged).",
 };
 
+/// `AOCI_FUZZ_ITERS` — fuzz-campaign budget.
+pub const FUZZ_ITERS: Knob = Knob {
+    name: "AOCI_FUZZ_ITERS",
+    ty: "usize",
+    default: "200",
+    effect: "generated programs per differential fuzzing campaign (DESIGN.md \u{a7}12); \
+             each runs the full oracle matrix.",
+};
+
+/// `AOCI_FUZZ_SEED` — fuzz-campaign seed.
+pub const FUZZ_SEED: Knob = Knob {
+    name: "AOCI_FUZZ_SEED",
+    ty: "u64",
+    default: "1",
+    effect: "campaign seed for the fuzz generator; the corpus fingerprint is a pure \
+             function of (seed, iters), independent of AOCI_JOBS.",
+};
+
 /// Every knob the harness understands, in documentation order. `diag
 /// --knobs` and the EXPERIMENTS.md table render from this slice.
 pub const KNOBS: &[Knob] = &[
@@ -188,6 +206,8 @@ pub const KNOBS: &[Knob] = &[
     ORACLE_SEED,
     BENCH_ITERS,
     DEBUG_HOT,
+    FUZZ_ITERS,
+    FUZZ_SEED,
 ];
 
 /// All `AOCI_*` knobs, parsed once. Construct with [`EnvConfig::from_env`]
@@ -226,6 +246,10 @@ pub struct EnvConfig {
     pub bench_iters: u32,
     /// Hot-method selection dump ([`DEBUG_HOT`]).
     pub debug_hot: bool,
+    /// Fuzz-campaign program budget ([`FUZZ_ITERS`]).
+    pub fuzz_iters: usize,
+    /// Fuzz-campaign seed ([`FUZZ_SEED`]).
+    pub fuzz_seed: u64,
 }
 
 /// Raw environment read — the **only** `std::env::var` call in the
@@ -274,6 +298,8 @@ impl Default for EnvConfig {
             oracle_seed: 1,
             bench_iters: 200,
             debug_hot: false,
+            fuzz_iters: 200,
+            fuzz_seed: 1,
         }
     }
 }
@@ -302,6 +328,8 @@ impl EnvConfig {
             oracle_seed: number(&ORACLE_SEED)?.unwrap_or(defaults.oracle_seed),
             bench_iters: number(&BENCH_ITERS)?.unwrap_or(defaults.bench_iters),
             debug_hot: flag(&DEBUG_HOT),
+            fuzz_iters: number(&FUZZ_ITERS)?.unwrap_or(defaults.fuzz_iters),
+            fuzz_seed: number(&FUZZ_SEED)?.unwrap_or(defaults.fuzz_seed),
         })
     }
 
@@ -346,7 +374,7 @@ mod tests {
     /// `std::env::var("AOCI_` call site exists outside this module.)
     #[test]
     fn knob_registry_is_closed() {
-        assert_eq!(KNOBS.len(), 15);
+        assert_eq!(KNOBS.len(), 17);
         let mut names: Vec<&str> = KNOBS.iter().map(|k| k.name).collect();
         names.sort_unstable();
         let mut unique = names.clone();

@@ -1,0 +1,65 @@
+use aoci_bench::env::EnvConfig;
+use aoci_fuzz::persist::{corpus_to_value, Regression};
+use aoci_fuzz::{run_campaign, CampaignConfig};
+use std::path::Path;
+
+/// Runs a coverage-guided differential fuzzing campaign (DESIGN.md §12).
+///
+/// `AOCI_FUZZ_ITERS` generated programs (seeded by `AOCI_FUZZ_SEED`) each
+/// run the full differential matrix — baseline oracle vs every
+/// ±OSR × ±async × ±chaos cell, traced and untraced — fanned over the
+/// `AOCI_JOBS` pool. Writes `{results_dir}/fuzz/corpus.json` (the
+/// coverage fingerprint artifact CI compares against the committed copy)
+/// and one `regress-{name}.json` per minimized finding. Exits 1 if any
+/// case produced a finding.
+fn main() {
+    let env = EnvConfig::from_env();
+    let cfg = CampaignConfig { seed: env.fuzz_seed, iters: env.fuzz_iters };
+    let pool = env.pool();
+    eprintln!(
+        "fuzz: campaign seed={} iters={} workers={}",
+        cfg.seed,
+        cfg.iters,
+        pool.workers()
+    );
+
+    let started = std::time::Instant::now();
+    let out = run_campaign(&cfg, &pool);
+    let wall = started.elapsed();
+
+    let dir = Path::new(&env.results_dir).join("fuzz");
+    std::fs::create_dir_all(&dir).expect("create fuzz results directory");
+
+    let corpus_path = dir.join("corpus.json");
+    let corpus = corpus_to_value(out.seed, cfg.iters, &out.corpus, &out.features);
+    std::fs::write(&corpus_path, aoci_json::to_string_pretty(&corpus))
+        .expect("write corpus.json");
+
+    for f in &out.findings {
+        let reg = Regression {
+            spec: f.spec.clone(),
+            kind: f.kind.clone(),
+            detail: f.detail.clone(),
+            status: "open".to_string(),
+        };
+        let path = dir.join(format!("regress-{}.json", f.spec.name));
+        std::fs::write(&path, aoci_json::to_string_pretty(&reg.to_value()))
+            .expect("write regression file");
+        eprintln!("fuzz: NEW FINDING [{}] case {} -> {}", f.kind, f.index, path.display());
+        eprintln!("fuzz:   {}", f.detail);
+    }
+
+    eprintln!(
+        "fuzz: {} cases in {:.2?}: {} corpus entries, {} coverage features, {} findings",
+        out.cases.len(),
+        wall,
+        out.corpus.len(),
+        out.features.len(),
+        out.findings.len()
+    );
+    eprintln!("fuzz: corpus fingerprint -> {}", corpus_path.display());
+
+    if !out.clean() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,99 @@
+use aoci_fuzz::oracle::run_case_caught;
+use aoci_fuzz::persist::Regression;
+use std::path::PathBuf;
+
+/// Replays every committed fuzz regression (`regress-*.json`).
+///
+/// Usage: `fuzzck [dir]` (default `results/fuzz`). Each file holds a
+/// minimized spec plus the finding it once exhibited and a triage status:
+///
+/// * `"fixed"` — the bug was resolved; the spec must now run **clean**.
+///   Any reproduction of the original finding kind is a regression and
+///   fails the check (exit 1).
+/// * `"open"` — the bug is still being triaged; reproduction is reported
+///   but tolerated, while *disappearance* is reported as a nudge to flip
+///   the status to `fixed`.
+///
+/// A directory with no regression files passes vacuously — that is the
+/// expected steady state.
+fn main() {
+    let dir = PathBuf::from(
+        std::env::args().nth(1).unwrap_or_else(|| "results/fuzz".to_string()),
+    );
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("regress-") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("fuzzck: cannot read {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    paths.sort();
+
+    if paths.is_empty() {
+        eprintln!("fuzzck: no regression files in {} — nothing to replay", dir.display());
+        return;
+    }
+
+    let mut failures = 0usize;
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("fuzzck: cannot read {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let value = aoci_json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("fuzzck: {} is not valid JSON: {e}", path.display());
+            std::process::exit(2);
+        });
+        let Some(reg) = Regression::from_value(&value) else {
+            eprintln!("fuzzck: {} is not a regression file", path.display());
+            std::process::exit(2);
+        };
+
+        let outcome = run_case_caught(&reg.spec);
+        let reproduced = outcome.findings.iter().find(|f| f.kind == reg.kind);
+        match (reg.status.as_str(), reproduced) {
+            ("fixed", None) => {
+                eprintln!("fuzzck: ok       {} [{}] stays fixed", path.display(), reg.kind);
+            }
+            ("fixed", Some(f)) => {
+                eprintln!(
+                    "fuzzck: FAIL     {} [{}] reproduced on a fixed regression: {}",
+                    path.display(),
+                    reg.kind,
+                    f.detail
+                );
+                failures += 1;
+            }
+            ("open", Some(_)) => {
+                eprintln!(
+                    "fuzzck: open     {} [{}] still reproduces (tracked)",
+                    path.display(),
+                    reg.kind
+                );
+            }
+            ("open", None) => {
+                eprintln!(
+                    "fuzzck: note     {} [{}] no longer reproduces — flip status to \"fixed\"",
+                    path.display(),
+                    reg.kind
+                );
+            }
+            (status, _) => {
+                eprintln!("fuzzck: FAIL     {} has unknown status {status:?}", path.display());
+                failures += 1;
+            }
+        }
+    }
+
+    eprintln!("fuzzck: {} regression file(s), {} failure(s)", paths.len(), failures);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Field-by-field spec minimization: shrink a failing spec to the
+//! smallest spec that still exhibits the finding.
+//!
+//! The algorithm is delta-debugging over [`FuzzSpec`] fields. Each step
+//! proposes candidates that set one field to its floor or halfway toward
+//! it (fractions additionally to zero), keeps only candidates that are
+//! **strictly smaller** under [`measure`], and greedily accepts the first
+//! candidate on which the caller's predicate still fails. Every accepted
+//! step strictly decreases the measure — a non-negative integer — so
+//! minimization terminates after at most `measure(spec)` acceptances, no
+//! matter what the predicate does (the proptests pin both properties).
+
+use aoci_workloads::FuzzSpec;
+
+/// Size of a spec as one non-negative integer: the sum of every count
+/// field plus each fraction scaled to an integer. Candidates produced by
+/// [`shrink_candidates`] are strictly smaller under this measure.
+pub fn measure(spec: &FuzzSpec) -> u64 {
+    let s = spec.clone().normalized();
+    let frac = |f: f64| (f * 1000.0).round() as u64;
+    (s.layers
+        + s.methods_per_layer
+        + s.calls_per_method
+        + s.families
+        + s.impls_per_family
+        + s.chain_depth
+        + s.chain_override_stride
+        + s.megamorphic_impls
+        + s.top_sites) as u64
+        + s.recursion_depth as u64
+        + s.iterations as u64
+        + frac(s.virtual_fraction)
+        + frac(s.context_correlation)
+        + frac(s.parameterless_fraction)
+        + frac(s.instance_middle_fraction)
+        + frac(s.unwind_fraction)
+        + frac(s.tiny_fraction)
+        + frac(s.huge_fraction)
+}
+
+/// Halfway step from `v` toward `floor` (strictly below `v` when
+/// possible): the floor itself, then the midpoint.
+fn toward(v: usize, floor: usize) -> Vec<usize> {
+    if v <= floor {
+        return Vec::new();
+    }
+    let mid = floor + (v - floor) / 2;
+    let mut c = vec![floor];
+    if mid > floor && mid < v {
+        c.push(mid);
+    }
+    c
+}
+
+/// The shrink candidates of `spec`: for each field, the spec with that
+/// field floored or halved, normalized, filtered to strictly smaller
+/// measure. Deterministic order (field-major, floor before midpoint) so
+/// minimization is reproducible.
+pub fn shrink_candidates(spec: &FuzzSpec) -> Vec<FuzzSpec> {
+    let s = spec.clone().normalized();
+    let m = measure(&s);
+    let mut out: Vec<FuzzSpec> = Vec::new();
+    let mut push = |c: FuzzSpec| {
+        let c = c.normalized();
+        if measure(&c) < m && !out.contains(&c) {
+            out.push(c);
+        }
+    };
+
+    macro_rules! count_field {
+        ($field:ident, $floor:expr) => {
+            for v in toward(s.$field, $floor) {
+                let mut c = s.clone();
+                c.$field = v;
+                push(c);
+            }
+        };
+    }
+    count_field!(layers, 1);
+    count_field!(methods_per_layer, 1);
+    count_field!(calls_per_method, 1);
+    count_field!(families, 0);
+    count_field!(impls_per_family, 2);
+    count_field!(chain_depth, 0);
+    count_field!(chain_override_stride, 1);
+    count_field!(megamorphic_impls, 0);
+    count_field!(top_sites, 1);
+    for v in toward(s.recursion_depth as usize, 0) {
+        let mut c = s.clone();
+        c.recursion_depth = v as i64;
+        push(c);
+    }
+    for v in toward(s.iterations as usize, 1) {
+        let mut c = s.clone();
+        c.iterations = v as i64;
+        push(c);
+    }
+
+    macro_rules! fraction_field {
+        ($field:ident) => {
+            if s.$field > 0.0 {
+                let mut c = s.clone();
+                c.$field = 0.0;
+                push(c);
+                if s.$field >= 0.02 {
+                    let mut c = s.clone();
+                    c.$field = s.$field / 2.0;
+                    push(c);
+                }
+            }
+        };
+    }
+    fraction_field!(virtual_fraction);
+    fraction_field!(context_correlation);
+    fraction_field!(parameterless_fraction);
+    fraction_field!(instance_middle_fraction);
+    fraction_field!(unwind_fraction);
+    fraction_field!(tiny_fraction);
+    fraction_field!(huge_fraction);
+    out
+}
+
+/// Greedy minimization: repeatedly accept the first candidate on which
+/// `still_fails` returns `true`, until no candidate fails. Returns the
+/// (normalized) smallest failing spec found. `still_fails(&result)` is
+/// guaranteed `true` on return if it was `true` for `spec`.
+pub fn minimize(spec: &FuzzSpec, still_fails: impl Fn(&FuzzSpec) -> bool) -> FuzzSpec {
+    let mut current = spec.clone().normalized();
+    'outer: loop {
+        for candidate in shrink_candidates(&current) {
+            if still_fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::sample_spec;
+
+    #[test]
+    fn candidates_are_strictly_smaller() {
+        for i in 0..32 {
+            let s = sample_spec(1, i);
+            let m = measure(&s);
+            for c in shrink_candidates(&s) {
+                assert!(measure(&c) < m, "candidate {c:?} not smaller than {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_spec_has_no_candidates() {
+        let floor = FuzzSpec::minimal("floor", 1);
+        assert!(shrink_candidates(&floor).is_empty());
+    }
+
+    #[test]
+    fn always_failing_predicate_reaches_the_floor() {
+        let s = sample_spec(1, 3);
+        let min = minimize(&s, |_| true);
+        assert!(shrink_candidates(&min).is_empty(), "not fully minimized: {min:?}");
+        assert_eq!(measure(&min), measure(&FuzzSpec::minimal("x", 0)));
+    }
+
+    #[test]
+    fn never_failing_predicate_returns_the_spec_unchanged() {
+        let s = sample_spec(1, 4);
+        assert_eq!(minimize(&s, |_| false), s.clone().normalized());
+    }
+
+    #[test]
+    fn minimize_homes_in_on_the_failing_field() {
+        // Synthetic "bug": fails whenever the megamorphic family has > 6
+        // implementations. Minimization must keep that property while
+        // flooring everything else.
+        let mut s = sample_spec(1, 5);
+        s.megamorphic_impls = 14;
+        let min = minimize(&s, |c| c.megamorphic_impls > 6);
+        assert!(min.megamorphic_impls > 6);
+        assert!(min.megamorphic_impls <= 8, "barely above threshold: {min:?}");
+        assert_eq!(min.layers, 1);
+        assert_eq!(min.iterations, 1);
+        assert_eq!(min.virtual_fraction, 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Corpus and regression persistence: `FuzzSpec` ⇄ JSON, the
+//! `results/fuzz/corpus.json` fingerprint artifact, and replayable
+//! `regress-*.json` regression files.
+//!
+//! Everything serializes through `aoci-json`, whose numbers are `f64`:
+//! exact for every count field (small integers) and for spec seeds
+//! because the sampler masks them to 53 bits — the round-trip tests pin
+//! losslessness. Fractions round-trip exactly too (Rust's shortest-form
+//! `f64` display parses back to the same bits).
+
+use crate::oracle::Finding;
+use aoci_json::Value as Json;
+use aoci_workloads::FuzzSpec;
+use std::collections::BTreeSet;
+
+/// Serializes a spec to a JSON object (field names = struct fields).
+pub fn spec_to_value(s: &FuzzSpec) -> Json {
+    Json::obj([
+        ("name".to_string(), Json::from(s.name.as_str())),
+        ("seed".to_string(), Json::from(s.seed)),
+        ("layers".to_string(), Json::from(s.layers as u64)),
+        ("methods_per_layer".to_string(), Json::from(s.methods_per_layer as u64)),
+        ("calls_per_method".to_string(), Json::from(s.calls_per_method as u64)),
+        ("families".to_string(), Json::from(s.families as u64)),
+        ("impls_per_family".to_string(), Json::from(s.impls_per_family as u64)),
+        ("chain_depth".to_string(), Json::from(s.chain_depth as u64)),
+        ("chain_override_stride".to_string(), Json::from(s.chain_override_stride as u64)),
+        ("megamorphic_impls".to_string(), Json::from(s.megamorphic_impls as u64)),
+        ("recursion_depth".to_string(), Json::from(s.recursion_depth)),
+        ("virtual_fraction".to_string(), Json::from(s.virtual_fraction)),
+        ("context_correlation".to_string(), Json::from(s.context_correlation)),
+        ("parameterless_fraction".to_string(), Json::from(s.parameterless_fraction)),
+        ("instance_middle_fraction".to_string(), Json::from(s.instance_middle_fraction)),
+        ("unwind_fraction".to_string(), Json::from(s.unwind_fraction)),
+        ("tiny_fraction".to_string(), Json::from(s.tiny_fraction)),
+        ("huge_fraction".to_string(), Json::from(s.huge_fraction)),
+        ("top_sites".to_string(), Json::from(s.top_sites as u64)),
+        ("iterations".to_string(), Json::from(s.iterations)),
+    ])
+}
+
+/// Inverse of [`spec_to_value`]; `None` on shape mismatch.
+pub fn spec_from_value(v: &Json) -> Option<FuzzSpec> {
+    Some(FuzzSpec {
+        name: v.get("name")?.as_str()?.to_string(),
+        seed: v.get("seed")?.as_u64()?,
+        layers: v.get("layers")?.as_u64()? as usize,
+        methods_per_layer: v.get("methods_per_layer")?.as_u64()? as usize,
+        calls_per_method: v.get("calls_per_method")?.as_u64()? as usize,
+        families: v.get("families")?.as_u64()? as usize,
+        impls_per_family: v.get("impls_per_family")?.as_u64()? as usize,
+        chain_depth: v.get("chain_depth")?.as_u64()? as usize,
+        chain_override_stride: v.get("chain_override_stride")?.as_u64()? as usize,
+        megamorphic_impls: v.get("megamorphic_impls")?.as_u64()? as usize,
+        recursion_depth: v.get("recursion_depth")?.as_i64()?,
+        virtual_fraction: v.get("virtual_fraction")?.as_f64()?,
+        context_correlation: v.get("context_correlation")?.as_f64()?,
+        parameterless_fraction: v.get("parameterless_fraction")?.as_f64()?,
+        instance_middle_fraction: v.get("instance_middle_fraction")?.as_f64()?,
+        unwind_fraction: v.get("unwind_fraction")?.as_f64()?,
+        tiny_fraction: v.get("tiny_fraction")?.as_f64()?,
+        huge_fraction: v.get("huge_fraction")?.as_f64()?,
+        top_sites: v.get("top_sites")?.as_u64()? as usize,
+        iterations: v.get("iterations")?.as_i64()?,
+    })
+}
+
+/// One committed regression: a minimized spec plus the finding it once
+/// exhibited. `status` is `"open"` while the underlying bug is being
+/// triaged (the `fuzzck` bin reports but tolerates reproduction) and
+/// `"fixed"` once resolved (`fuzzck` then *fails* if the finding ever
+/// reproduces again).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// The minimized spec.
+    pub spec: FuzzSpec,
+    /// The original finding's stable tag.
+    pub kind: String,
+    /// The original finding's human-readable detail.
+    pub detail: String,
+    /// `"open"` or `"fixed"`.
+    pub status: String,
+}
+
+impl Regression {
+    /// A freshly-found regression (status `open`).
+    pub fn open(spec: FuzzSpec, finding: &Finding) -> Self {
+        Regression {
+            spec,
+            kind: finding.kind.clone(),
+            detail: finding.detail.clone(),
+            status: "open".to_string(),
+        }
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_value(&self) -> Json {
+        Json::obj([
+            ("spec".to_string(), spec_to_value(&self.spec)),
+            ("kind".to_string(), Json::from(self.kind.as_str())),
+            ("detail".to_string(), Json::from(self.detail.as_str())),
+            ("status".to_string(), Json::from(self.status.as_str())),
+        ])
+    }
+
+    /// Inverse of [`Regression::to_value`]; `None` on shape mismatch.
+    pub fn from_value(v: &Json) -> Option<Self> {
+        Some(Regression {
+            spec: spec_from_value(v.get("spec")?)?,
+            kind: v.get("kind")?.as_str()?.to_string(),
+            detail: v.get("detail")?.as_str()?.to_string(),
+            status: v.get("status")?.as_str()?.to_string(),
+        })
+    }
+}
+
+/// One corpus entry: a case whose fingerprint added new decision-space
+/// coverage, with exactly the features it was first to reach.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Campaign case index.
+    pub index: usize,
+    /// Case name (`fzNNNN`).
+    pub name: String,
+    /// Features this case added over all earlier cases.
+    pub new_features: Vec<String>,
+}
+
+/// Serializes a campaign corpus to the `corpus.json` artifact: the
+/// campaign parameters, the kept entries in index order, and the full
+/// sorted feature set. Byte-identical across `AOCI_JOBS` values because
+/// every input is (CI `cmp`s this file against the committed one).
+pub fn corpus_to_value(
+    seed: u64,
+    iters: usize,
+    entries: &[CorpusEntry],
+    features: &BTreeSet<String>,
+) -> Json {
+    Json::obj([
+        ("campaign_seed".to_string(), Json::from(seed)),
+        ("campaign_iters".to_string(), Json::from(iters as u64)),
+        (
+            "corpus".to_string(),
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("index".to_string(), Json::from(e.index as u64)),
+                            ("name".to_string(), Json::from(e.name.as_str())),
+                            (
+                                "new_features".to_string(),
+                                Json::Arr(
+                                    e.new_features.iter().map(|f| Json::from(f.as_str())).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "features".to_string(),
+            Json::Arr(features.iter().map(|f| Json::from(f.as_str())).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::sample_spec;
+
+    #[test]
+    fn specs_round_trip_through_json_text() {
+        for i in 0..32 {
+            let s = sample_spec(99, i);
+            let text = aoci_json::to_string_pretty(&spec_to_value(&s));
+            let parsed = aoci_json::parse(&text).expect("parses");
+            let back = spec_from_value(&parsed).expect("shape");
+            assert_eq!(back, s, "case {i} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn regressions_round_trip() {
+        let r = Regression::open(
+            sample_spec(7, 3),
+            &Finding { kind: "rerun-divergence".to_string(), detail: "clock[vm]: 1 vs 2".into() },
+        );
+        let text = aoci_json::to_string_pretty(&r.to_value());
+        let back = Regression::from_value(&aoci_json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.status, "open");
+    }
+
+    #[test]
+    fn malformed_shapes_are_rejected() {
+        assert!(spec_from_value(&Json::Null).is_none());
+        assert!(Regression::from_value(&Json::from("nope")).is_none());
+        let mut v = spec_to_value(&sample_spec(1, 0));
+        if let Json::Obj(map) = &mut v {
+            map.remove("iterations");
+        }
+        assert!(spec_from_value(&v).is_none());
+    }
+
+    #[test]
+    fn corpus_serialization_is_deterministic() {
+        let entries = vec![CorpusEntry {
+            index: 0,
+            name: "fz0000".to_string(),
+            new_features: vec!["inline:rule-fired".to_string()],
+        }];
+        let features: BTreeSet<String> = ["inline:rule-fired".to_string()].into();
+        let a = aoci_json::to_string_pretty(&corpus_to_value(1, 4, &entries, &features));
+        let b = aoci_json::to_string_pretty(&corpus_to_value(1, 4, &entries, &features));
+        assert_eq!(a, b);
+        assert!(a.contains("campaign_seed"));
+    }
+}

@@ -26,9 +26,15 @@
 //! ([`TraceLog::explain`] — "why was method M (not) inlined at site C?"),
 //! and the last-N-events dump ([`TraceSink::dump_last`]) the AOS attaches
 //! to its recovery ledger whenever recovery or a VM fault fires.
+//!
+//! The fuzzing campaign reads a fourth view: the **decision-space coverage
+//! fingerprint** ([`TraceLog::coverage`] over
+//! [`TraceEvent::coverage_features`]) — the set of inlining rules fired,
+//! refusal reasons, OSR and recovery paths a run exercised.
 
 #![warn(missing_docs)]
 
+mod coverage;
 mod event;
 mod recorder;
 mod sinks;

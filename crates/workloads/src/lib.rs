@@ -29,10 +29,12 @@
 
 #![warn(missing_docs)]
 
+mod fuzz;
 mod generator;
 mod hashmap;
 mod spec;
 
+pub use fuzz::{build_fuzz, FuzzProgram, FuzzSpec, UNWIND_SENTINEL};
 pub use generator::{build, Workload};
 pub use hashmap::hashmap_test;
 pub use spec::{suite, spec_by_name, SizeMix, WorkloadSpec};

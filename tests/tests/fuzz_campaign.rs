@@ -1,0 +1,76 @@
+//! End-to-end checks on the differential fuzzing campaign (DESIGN.md
+//! §12): a fixed-seed campaign runs clean, its corpus fingerprint is
+//! byte-identical across worker counts (the property the CI
+//! `fuzz-campaign` job enforces at scale against the committed
+//! `results/fuzz/corpus.json`), and the coverage map actually reaches the
+//! decision space the generator was built to exercise.
+
+use aoci_core::JobPool;
+use aoci_fuzz::persist::corpus_to_value;
+use aoci_fuzz::{run_campaign, CampaignConfig};
+use std::collections::BTreeSet;
+
+const SEED: u64 = 20_030_323; // CGO 2003 — same fixed seed the oracle suite uses.
+const ITERS: usize = 12;
+
+fn corpus_bytes(workers: usize) -> String {
+    let out = run_campaign(&CampaignConfig { seed: SEED, iters: ITERS }, &JobPool::new(workers));
+    assert!(
+        out.findings.is_empty(),
+        "fixed-seed campaign must be clean, got {:?}",
+        out.findings
+    );
+    aoci_json::to_string_pretty(&corpus_to_value(out.seed, ITERS, &out.corpus, &out.features))
+}
+
+#[test]
+fn fixed_seed_campaign_is_clean_and_worker_count_invariant() {
+    let serial = corpus_bytes(1);
+    assert_eq!(serial, corpus_bytes(2), "AOCI_JOBS=2 must reproduce the serial corpus");
+    assert_eq!(serial, corpus_bytes(8), "AOCI_JOBS=8 must reproduce the serial corpus");
+}
+
+#[test]
+fn campaign_coverage_reaches_the_decision_space() {
+    let out = run_campaign(&CampaignConfig { seed: SEED, iters: ITERS }, &JobPool::new(4));
+    assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+
+    let prefixes: BTreeSet<&str> =
+        out.features.iter().filter_map(|f| f.split(':').next()).collect();
+    for expected in ["inline", "plan", "fault", "profile"] {
+        assert!(
+            prefixes.contains(expected),
+            "campaign never reached `{expected}:` coverage; features: {:?}",
+            out.features
+        );
+    }
+    // The corpus is coverage-guided: entries must be strictly increasing
+    // in index, each claiming at least one feature, jointly claiming all.
+    let mut last = None;
+    let mut claimed = 0usize;
+    for e in &out.corpus {
+        assert!(last.is_none_or(|l| e.index > l), "corpus not in index order");
+        assert!(!e.new_features.is_empty());
+        claimed += e.new_features.len();
+        last = Some(e.index);
+    }
+    assert_eq!(claimed, out.features.len(), "features claimed exactly once");
+    assert!(
+        out.corpus.len() < out.cases.len(),
+        "coverage guidance should reject cases adding nothing new ({} of {})",
+        out.corpus.len(),
+        out.cases.len()
+    );
+}
+
+#[test]
+fn campaign_outcome_is_reproducible_end_to_end() {
+    let a = run_campaign(&CampaignConfig { seed: 7, iters: 5 }, &JobPool::new(3));
+    let b = run_campaign(&CampaignConfig { seed: 7, iters: 5 }, &JobPool::new(3));
+    assert_eq!(a.features, b.features);
+    assert_eq!(a.corpus.len(), b.corpus.len());
+    for (x, y) in a.cases.iter().zip(&b.cases) {
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.fingerprint, y.fingerprint);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests on the fuzzing pipeline (DESIGN.md §12): the
+//! generator's validity guarantee (every normalized spec — including
+//! out-of-range inputs — builds a program that typechecks), the
+//! minimizer's monotonicity and termination, and the sampler's purity.
+
+use aoci_fuzz::{measure, minimize, sample_spec, shrink_candidates};
+use aoci_workloads::{build_fuzz, FuzzSpec};
+use proptest::prelude::*;
+
+/// An arbitrary spec, deliberately allowed OUTSIDE the sampler's ranges
+/// (oversized counts, fraction pairs that sum past 1.0) — `normalized()`
+/// must absorb all of it.
+fn arb_spec() -> impl Strategy<Value = FuzzSpec> {
+    let counts = [
+        1usize..5,  // layers
+        1usize..6,  // methods_per_layer
+        1usize..5,  // calls_per_method
+        0usize..4,  // families
+        0usize..8,  // impls_per_family (below the generator's own floor of 2)
+        0usize..64, // chain_depth (past the normalizer's clamp of 32)
+        0usize..8,  // chain_override_stride (0 is out of range; normalized to 1)
+        0usize..64, // megamorphic_impls (past the clamp of 32)
+        1usize..5,  // top_sites
+        0usize..64, // recursion_depth (past the clamp of 32)
+        1usize..80, // iterations
+    ];
+    let fractions = [
+        0.0f64..1.5, // virtual_fraction (past 1.0; clamped)
+        0.0f64..1.5, // context_correlation (past 1.0; clamped)
+        0.0f64..1.0, // parameterless_fraction
+        0.0f64..1.0, // instance_middle_fraction
+        0.0f64..1.0, // unwind_fraction
+        0.0f64..0.9, // tiny_fraction (tiny+huge may sum past 1.0; rescaled)
+        0.0f64..0.9, // huge_fraction
+    ];
+    (0u64..1 << 53, counts, fractions).prop_map(|(seed, c, f)| {
+        let mut s = FuzzSpec::minimal("prop", seed);
+        s.layers = c[0];
+        s.methods_per_layer = c[1];
+        s.calls_per_method = c[2];
+        s.families = c[3];
+        s.impls_per_family = c[4];
+        s.chain_depth = c[5];
+        s.chain_override_stride = c[6];
+        s.megamorphic_impls = c[7];
+        s.top_sites = c[8];
+        s.recursion_depth = c[9] as i64;
+        s.iterations = c[10] as i64;
+        s.virtual_fraction = f[0];
+        s.context_correlation = f[1];
+        s.parameterless_fraction = f[2];
+        s.instance_middle_fraction = f[3];
+        s.unwind_fraction = f[4];
+        s.tiny_fraction = f[5];
+        s.huge_fraction = f[6];
+        s
+    })
+}
+
+proptest! {
+    /// The generator's core contract: any spec — even one far outside the
+    /// sampler's ranges — normalizes to a program that builds and passes
+    /// the IR typechecker. (`build_fuzz` normalizes internally and runs
+    /// `validate`; verifying again here pins the public-path guarantee.)
+    #[test]
+    fn generated_programs_always_validate_and_typecheck(spec in arb_spec()) {
+        let program = build_fuzz(&spec).expect("build_fuzz accepts any normalized spec").program;
+        aoci_ir::typecheck::verify(&program).expect("generated program typechecks");
+    }
+
+    /// Shrinking is strictly monotone: every candidate measures smaller
+    /// than its parent, which is what guarantees minimize() terminates.
+    #[test]
+    fn shrink_candidates_are_strictly_monotone(spec in arb_spec()) {
+        let m = measure(&spec);
+        for c in shrink_candidates(&spec) {
+            prop_assert!(measure(&c) < m, "candidate {:?} not below {}", c, m);
+        }
+    }
+
+    /// Termination and soundness of greedy minimization under an
+    /// arbitrary (pure) predicate: the result still fails if the input
+    /// did, and a failing result admits no failing shrink candidate.
+    #[test]
+    fn minimize_terminates_on_arbitrary_predicates(spec in arb_spec(), threshold in 0u64..400) {
+        let fails = |s: &FuzzSpec| measure(s) > threshold;
+        let min = minimize(&spec, fails);
+        if fails(&spec.clone().normalized()) {
+            prop_assert!(fails(&min), "minimize lost the failure");
+            for c in shrink_candidates(&min) {
+                prop_assert!(!fails(&c), "greedy fixpoint not reached: {:?}", c);
+            }
+        } else {
+            prop_assert_eq!(min, spec.normalized());
+        }
+    }
+
+    /// The sampler is a pure function of (campaign seed, index): the same
+    /// coordinates always give the same spec, and its inner seed stays
+    /// within f64-lossless range so persistence round-trips.
+    #[test]
+    fn sampler_is_pure_and_f64_safe(seed in 0u64..1 << 32, index in 0usize..10_000) {
+        let a = sample_spec(seed, index);
+        prop_assert_eq!(&a, &sample_spec(seed, index));
+        prop_assert!(a.seed < (1 << 53));
+        prop_assert!(a.fractions_valid());
+    }
+}
