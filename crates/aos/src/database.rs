@@ -213,6 +213,7 @@ mod tests {
                 code_size: 0,
                 version_id: 0,
                 osr_map: aoci_vm::OsrMap::empty(),
+                decoded: aoci_vm::DecodeCache::default(),
             },
             decisions,
             refusals,

@@ -1,0 +1,197 @@
+//! Wall-clock microbenchmark of the interpreter dispatch paths.
+//!
+//! Runs every suite workload twice per dispatch mode — pre-decoded
+//! threaded dispatch (`AOCI_DECODE=1`, the default) versus the legacy
+//! per-step `match` loop (`AOCI_DECODE=0`) — under a representative
+//! adaptive configuration, and reports real seconds per mode plus the
+//! speedup. Simulated-cycle metrics are asserted identical between the
+//! two modes for every workload, so each invocation is also a coarse
+//! dispatch-equivalence check (the fine-grained one lives in
+//! `tests/tests/dispatch_equivalence.rs`).
+//!
+//! Each (workload, mode) cell runs `AOCI_REPS` times (default 3) and
+//! keeps the *minimum* wall time — the standard microbenchmark protocol
+//! for a deterministic computation, where every cycle above the minimum
+//! is measurement noise. Results print as a table and are written as
+//! JSON to `<AOCI_RESULTS_DIR>/ubench.json` for the per-PR bench
+//! trajectory (`results/BENCH_<n>.json` quotes these numbers).
+
+use aoci_aos::{AosConfig, AosReport, AosSystem};
+use aoci_bench::EnvConfig;
+use aoci_core::PolicyKind;
+use aoci_ir::{BinOp, Cond, Program, ProgramBuilder};
+use aoci_json::Value;
+use aoci_vm::{CostModel, Vm, VmConfig};
+use aoci_workloads::{build, suite, Workload};
+use std::time::Instant;
+
+/// The representative adaptive configuration: the fixed-depth policy the
+/// smoke matrix uses, with the dispatch mode as the only variable.
+fn config(decode: bool) -> AosConfig {
+    let mut c = AosConfig::new(PolicyKind::Fixed { max: 3 });
+    c.vm.decode = decode;
+    c
+}
+
+/// A bare interpreter-bound program: a tight const/bin/branch arithmetic
+/// loop (fusion-friendly by construction) run on a `Vm` directly with
+/// sampling off, so the measurement is *pure dispatch* — no organizers,
+/// compiles or sampling in the numerator. The suite rows below measure
+/// the full adaptive system, where dispatch is only one cost among many;
+/// this row isolates the loop the tentpole actually rewrote.
+fn dispatch_loop_program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let i = m.fresh_reg();
+        let n = m.fresh_reg();
+        let one = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let t = m.fresh_reg();
+        m.const_int(i, 0);
+        m.const_int(n, 10_000_000);
+        m.const_int(one, 1);
+        m.const_int(acc, 0);
+        let top = m.label();
+        m.bind(top);
+        m.const_int(t, 7);
+        m.bin(BinOp::Xor, acc, acc, t);
+        m.bin(BinOp::Add, acc, acc, one);
+        m.bin(BinOp::Add, i, i, one);
+        m.branch(Cond::Lt, i, n, top);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    b.finish(main).expect("dispatch loop program is valid")
+}
+
+/// Best-of-`reps` wall seconds for the bare dispatch loop in one mode,
+/// plus the simulated cycle count for the cross-mode identity assert.
+fn dispatch_loop_best(program: &Program, decode: bool, reps: usize) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..reps {
+        let cost = CostModel { sample_period: 0, ..CostModel::default() };
+        let mut vm =
+            Vm::with_config(program, cost, VmConfig { decode, ..VmConfig::default() });
+        let t = Instant::now();
+        vm.run_to_completion().expect("dispatch loop runs clean");
+        best = best.min(t.elapsed().as_secs_f64());
+        cycles = vm.clock().total();
+    }
+    (cycles, best)
+}
+
+/// Runs `w` once in the given mode, returning the report and wall seconds.
+fn run_once(w: &Workload, decode: bool) -> (AosReport, f64) {
+    let t = Instant::now();
+    let report = AosSystem::new(&w.program, config(decode)).run().expect("workload runs");
+    (report, t.elapsed().as_secs_f64())
+}
+
+/// Minimum wall seconds over `reps` runs (plus one report for equivalence
+/// checking — every rep is bit-identical, so any rep's report serves).
+fn best_of(w: &Workload, decode: bool, reps: usize) -> (AosReport, f64) {
+    let mut best: Option<(AosReport, f64)> = None;
+    for _ in 0..reps {
+        let (report, secs) = run_once(w, decode);
+        match &best {
+            Some((_, b)) if *b <= secs => {}
+            _ => best = Some((report, secs)),
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let env = EnvConfig::from_env();
+    let reps = env.reps;
+    let workloads: Vec<Workload> = suite().iter().map(build).collect();
+
+    println!("dispatch microbenchmark: decoded vs legacy, best of {reps} (seconds)");
+    println!("{:<12} {:>10} {:>10} {:>9}", "workload", "decoded", "legacy", "speedup");
+
+    let mut rows = std::collections::BTreeMap::new();
+    let (mut total_dec, mut total_leg) = (0.0f64, 0.0f64);
+
+    // Pure-dispatch row first: a bare Vm on an interpreter-bound loop.
+    let loop_program = dispatch_loop_program();
+    let (cycles_dec, loop_dec) = dispatch_loop_best(&loop_program, true, reps);
+    let (cycles_leg, loop_leg) = dispatch_loop_best(&loop_program, false, reps);
+    assert_eq!(
+        cycles_dec, cycles_leg,
+        "dispatch_loop: decoded and legacy dispatch disagree on simulated cycles"
+    );
+    println!("{:<12} {:>10.4} {:>10.4} {:>8.2}x", "(dispatch)", loop_dec, loop_leg, loop_leg / loop_dec);
+    let dispatch_row = Value::obj([
+        ("decoded_seconds".to_string(), Value::Num(loop_dec)),
+        ("legacy_seconds".to_string(), Value::Num(loop_leg)),
+        ("speedup".to_string(), Value::Num(loop_leg / loop_dec)),
+    ]);
+
+    for w in &workloads {
+        let (rep_dec, dec) = best_of(w, true, reps);
+        let (rep_leg, leg) = best_of(w, false, reps);
+        assert_eq!(
+            rep_dec.result, rep_leg.result,
+            "{}: decoded and legacy dispatch disagree on the program result",
+            w.name
+        );
+        assert_eq!(
+            rep_dec.total_cycles(),
+            rep_leg.total_cycles(),
+            "{}: decoded and legacy dispatch disagree on simulated cycles",
+            w.name
+        );
+        assert_eq!(
+            rep_dec.counters, rep_leg.counters,
+            "{}: decoded and legacy dispatch disagree on exec counters",
+            w.name
+        );
+        total_dec += dec;
+        total_leg += leg;
+        println!("{:<12} {:>10.4} {:>10.4} {:>8.2}x", w.name, dec, leg, leg / dec);
+        rows.insert(
+            w.name.to_string(),
+            Value::obj([
+                ("decoded_seconds".to_string(), Value::Num(dec)),
+                ("legacy_seconds".to_string(), Value::Num(leg)),
+                ("speedup".to_string(), Value::Num(leg / dec)),
+            ]),
+        );
+    }
+    println!(
+        "{:<12} {:>10.4} {:>10.4} {:>8.2}x",
+        "TOTAL",
+        total_dec,
+        total_leg,
+        total_leg / total_dec
+    );
+
+    let doc = Value::obj([
+        ("bench".to_string(), Value::Str("ubench_dispatch".to_string())),
+        ("reps".to_string(), Value::Num(reps as f64)),
+        ("dispatch_loop".to_string(), dispatch_row),
+        ("workloads".to_string(), Value::Obj(rows)),
+        (
+            "total".to_string(),
+            Value::obj([
+                ("decoded_seconds".to_string(), Value::Num(total_dec)),
+                ("legacy_seconds".to_string(), Value::Num(total_leg)),
+                ("speedup".to_string(), Value::Num(total_leg / total_dec)),
+            ]),
+        ),
+    ]);
+    let path = format!("{}/ubench.json", env.results_dir);
+    if let Err(e) = std::fs::create_dir_all(&env.results_dir) {
+        eprintln!("ubench: cannot create {}: {e}", env.results_dir);
+        std::process::exit(1);
+    }
+    match std::fs::write(&path, aoci_json::to_string_pretty(&doc) + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("ubench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

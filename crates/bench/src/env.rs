@@ -179,6 +179,16 @@ pub const FUZZ_ITERS: Knob = Knob {
              each runs the full oracle matrix.",
 };
 
+/// `AOCI_DECODE` — pre-decoded threaded dispatch.
+pub const DECODE: Knob = Knob {
+    name: "AOCI_DECODE",
+    ty: "flag",
+    default: "on",
+    effect: "pre-decoded threaded interpreter dispatch (DESIGN.md \u{a7}13); set to 0 for the \
+             legacy per-step match loop. Bit-identical either way \u{2014} only wall-clock \
+             speed changes.",
+};
+
 /// `AOCI_FUZZ_SEED` — fuzz-campaign seed.
 pub const FUZZ_SEED: Knob = Knob {
     name: "AOCI_FUZZ_SEED",
@@ -206,6 +216,7 @@ pub const KNOBS: &[Knob] = &[
     ORACLE_SEED,
     BENCH_ITERS,
     DEBUG_HOT,
+    DECODE,
     FUZZ_ITERS,
     FUZZ_SEED,
 ];
@@ -246,6 +257,9 @@ pub struct EnvConfig {
     pub bench_iters: u32,
     /// Hot-method selection dump ([`DEBUG_HOT`]).
     pub debug_hot: bool,
+    /// Pre-decoded threaded dispatch ([`DECODE`]). The one default-**on**
+    /// flag: only an explicit `0` selects the legacy match loop.
+    pub decode: bool,
     /// Fuzz-campaign program budget ([`FUZZ_ITERS`]).
     pub fuzz_iters: usize,
     /// Fuzz-campaign seed ([`FUZZ_SEED`]).
@@ -298,6 +312,7 @@ impl Default for EnvConfig {
             oracle_seed: 1,
             bench_iters: 200,
             debug_hot: false,
+            decode: true,
             fuzz_iters: 200,
             fuzz_seed: 1,
         }
@@ -328,6 +343,9 @@ impl EnvConfig {
             oracle_seed: number(&ORACLE_SEED)?.unwrap_or(defaults.oracle_seed),
             bench_iters: number(&BENCH_ITERS)?.unwrap_or(defaults.bench_iters),
             debug_hot: flag(&DEBUG_HOT),
+            // Default-on flag: anything but an explicit `0` keeps decode on
+            // (the inverse of `flag`, which defaults off).
+            decode: raw(&DECODE).is_none_or(|s| s.trim() != "0"),
             fuzz_iters: number(&FUZZ_ITERS)?.unwrap_or(defaults.fuzz_iters),
             fuzz_seed: number(&FUZZ_SEED)?.unwrap_or(defaults.fuzz_seed),
         })
@@ -374,7 +392,7 @@ mod tests {
     /// `std::env::var("AOCI_` call site exists outside this module.)
     #[test]
     fn knob_registry_is_closed() {
-        assert_eq!(KNOBS.len(), 17);
+        assert_eq!(KNOBS.len(), 18);
         let mut names: Vec<&str> = KNOBS.iter().map(|k| k.name).collect();
         names.sort_unstable();
         let mut unique = names.clone();
@@ -396,6 +414,7 @@ mod tests {
         assert_eq!(d.faults, None);
         assert_eq!(d.oracle_seed, 1);
         assert_eq!(d.trace_cap, 1 << 16);
+        assert!(d.decode, "decoded dispatch is the default");
     }
 
     #[test]

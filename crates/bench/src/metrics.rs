@@ -125,6 +125,7 @@ pub fn run_config(env: &EnvConfig, policy: PolicyKind, rep: usize) -> AosConfig 
     if env.debug_hot {
         config = config.enable_debug_hot();
     }
+    config.vm.decode = env.decode;
     config.cost.sample_period += (rep as u64) * 37;
     config
 }

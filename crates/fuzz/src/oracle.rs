@@ -20,7 +20,7 @@
 
 use aoci_aos::{AosConfig, AosReport, AosSystem, FaultConfig, OsrEvents, TraceConfig};
 use aoci_core::PolicyKind;
-use aoci_vm::{CostModel, Value, Vm, COMPONENTS};
+use aoci_vm::{CostModel, Value, Vm, VmConfig, COMPONENTS};
 use aoci_workloads::{build_fuzz, FuzzSpec};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -86,6 +86,7 @@ fn config(
     async_on: bool,
     fault: Option<FaultConfig>,
     traced: bool,
+    decode: bool,
 ) -> AosConfig {
     let mut c = AosConfig::new(policy).enable_guard_monitoring();
     if osr {
@@ -105,6 +106,7 @@ fn config(
     c.organizer_period_samples = 4;
     c.missing_edge_period_samples = 8;
     c.vm.osr_backedge_threshold = 48;
+    c.vm.decode = decode;
     c
 }
 
@@ -176,6 +178,15 @@ fn diff_reports(a: &AosReport, b: &AosReport) -> Option<String> {
 /// violations — they come back as findings; panics from the system under
 /// test are the caller's concern (see [`run_case_caught`]).
 pub fn run_case(spec: &FuzzSpec) -> CaseOutcome {
+    run_case_with_decode(spec, true)
+}
+
+/// [`run_case`] with an explicit dispatch selection: `decode: false` runs
+/// the oracle VM *and* every matrix cell through the legacy `match` loop.
+/// The dispatch-equivalence suite drives both halves and asserts identical
+/// outcomes and fingerprints — the decoded interpreter must be invisible
+/// to every observable the campaign checks.
+pub fn run_case_with_decode(spec: &FuzzSpec, decode: bool) -> CaseOutcome {
     let mut out =
         CaseOutcome { spec: spec.clone(), fingerprint: BTreeSet::new(), findings: Vec::new() };
 
@@ -192,7 +203,10 @@ pub fn run_case(spec: &FuzzSpec) -> CaseOutcome {
     }
 
     let cost = CostModel { sample_period: 0, ..CostModel::default() };
-    let expected: Option<Value> = match Vm::new(&program, cost).run_to_completion() {
+    let vm_config = VmConfig { decode, ..VmConfig::default() };
+    let expected: Option<Value> = match Vm::with_config(&program, cost, vm_config)
+        .run_to_completion()
+    {
         Ok(r) => r,
         Err(e) => {
             out.findings.push(Finding::new("oracle-vm-error", format!("{e}")));
@@ -207,10 +221,16 @@ pub fn run_case(spec: &FuzzSpec) -> CaseOutcome {
             spec.name,
             fault.is_some()
         );
-        let traced = AosSystem::new(&program, config(policy, osr, async_on, fault.clone(), true))
-            .run();
-        let untraced =
-            AosSystem::new(&program, config(policy, osr, async_on, fault.clone(), false)).run();
+        let traced = AosSystem::new(
+            &program,
+            config(policy, osr, async_on, fault.clone(), true, decode),
+        )
+        .run();
+        let untraced = AosSystem::new(
+            &program,
+            config(policy, osr, async_on, fault.clone(), false, decode),
+        )
+        .run();
         let (a, b) = match (traced, untraced) {
             (Ok(a), Ok(b)) => (a, b),
             (Err(e), _) | (_, Err(e)) => {

@@ -38,6 +38,7 @@
 
 mod builder;
 mod class;
+mod decoded;
 mod disasm;
 mod error;
 mod ids;
@@ -50,6 +51,9 @@ mod validate;
 
 pub use builder::{MethodBuilder, ProgramBuilder};
 pub use class::{ClassDef, FieldDef, SelectorDef};
+pub use decoded::{
+    decode_body, decode_op, encode_body, encode_op, fused_kind, fusion_plan, DecodedOp, FusedKind,
+};
 pub use disasm::{disassemble, disassemble_method};
 pub use error::IrError;
 pub use ids::{CallSiteRef, ClassId, FieldId, GlobalId, Label, MethodId, Reg, SelectorId, SiteIdx};

@@ -95,6 +95,7 @@ pub fn compile(
         body,
         version_id: 0,
         osr_map,
+        decoded: aoci_vm::DecodeCache::default(),
     };
     Compilation { version, decisions, refusals, generated_size }
 }

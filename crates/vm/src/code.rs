@@ -10,8 +10,11 @@
 //! avoid recording misleading samples like `A ⇒ C` when profile data exists
 //! for `A ⇒ B ⇒ C`.
 
+use crate::cost::CostModel;
+use crate::interp::decode::DecodedBody;
 use crate::osr::OsrMap;
-use aoci_ir::{Instr, MethodId, SiteIdx};
+use aoci_ir::{Instr, MethodId, Program, SiteIdx};
+use std::sync::OnceLock;
 
 /// Compilation level of a method version.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -206,6 +209,37 @@ pub struct MethodVersion {
     /// between a baseline frame and this version's frame. Empty for
     /// baseline code and for optimized code without root loops.
     pub osr_map: OsrMap,
+    /// Lazily built pre-decoded form of `body` (see DESIGN.md §13). Filled
+    /// on first execution by the decoded dispatch loop; purely an execution
+    /// cache — it never influences simulated cycles or observable state.
+    pub decoded: DecodeCache,
+}
+
+/// Container for a method version's lazily pre-decoded body.
+///
+/// Lives inside [`MethodVersion`] so the cache shares the version's
+/// lifetime and thread-safety story: versions are handed around as
+/// `Arc<MethodVersion>` (including across the async-compile pool), and
+/// `OnceLock` makes the one-time decode race-free. Cloning a version
+/// deliberately does **not** clone the cache — a clone's body may be
+/// edited before install, so it starts with an empty cache and decodes
+/// on first execution.
+#[derive(Default)]
+pub struct DecodeCache(pub(crate) OnceLock<DecodedBody>);
+
+impl Clone for DecodeCache {
+    fn clone(&self) -> Self {
+        DecodeCache::default()
+    }
+}
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            Some(b) => write!(f, "DecodeCache({} ops)", b.instrs.len()),
+            None => f.write_str("DecodeCache(empty)"),
+        }
+    }
 }
 
 impl MethodVersion {
@@ -220,7 +254,16 @@ impl MethodVersion {
             code_size: def.size_estimate(),
             version_id: 0,
             osr_map: OsrMap::empty(),
+            decoded: DecodeCache::default(),
         }
+    }
+
+    /// The pre-decoded form of this version's body, built on first use.
+    /// `program` and `cost` must be the ones the executing VM runs under
+    /// (true for every caller: a version is only ever executed by the VM
+    /// whose registry it was installed into).
+    pub(crate) fn decoded_body(&self, program: &Program, cost: &CostModel) -> &DecodedBody {
+        self.decoded.0.get_or_init(|| DecodedBody::build(self, program, cost))
     }
 }
 

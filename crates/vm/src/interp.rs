@@ -14,6 +14,8 @@ use aoci_trace::{TraceEvent, TraceSink};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+pub(crate) mod decode;
+
 /// Interpreter configuration.
 #[derive(Clone, Debug)]
 pub struct VmConfig {
@@ -48,6 +50,16 @@ pub struct VmConfig {
     /// Frame-local guard-miss rate above which an optimized activation
     /// arms deoptimization and OSR-outs at its next loop header.
     pub osr_exit_miss_threshold: f64,
+    /// When `true` (the default), execute through the pre-decoded threaded
+    /// dispatch loop (DESIGN.md §13): bodies are lowered once into flat
+    /// [`DecodedInstr`](decode) arrays with resolved operands, precomputed
+    /// costs and fused superinstructions, dispatched through function
+    /// pointers. When `false`, the legacy per-step `match` loop runs
+    /// instead. Both paths are bit-identical in every observable —
+    /// simulated cycles, counters, trace events, errors — the switch only
+    /// changes wall-clock speed (`AOCI_DECODE=0` drives it in benches and
+    /// the dispatch-equivalence CI matrix).
+    pub decode: bool,
 }
 
 impl Default for VmConfig {
@@ -61,6 +73,7 @@ impl Default for VmConfig {
             osr_backedge_threshold: 256,
             osr_exit_min_checks: 48,
             osr_exit_miss_threshold: 0.9,
+            decode: true,
         }
     }
 }
@@ -318,6 +331,15 @@ impl<'p> Vm<'p> {
             self.next_sample_at = Some(self.clock.total() + self.cost.sample_period);
         }
         let start = self.clock.total();
+        if self.config.decode {
+            return self.run_decoded(start, budget);
+        }
+        // Legacy per-step `match` loop, kept (behind `decode: false` /
+        // `AOCI_DECODE=0`) as the reference half of the dispatch-
+        // equivalence matrix. The executing version is cached across steps
+        // and refreshed only when the top frame's version changes, so the
+        // steady state performs no per-step `Arc::clone`.
+        let mut current: Option<Arc<MethodVersion>> = None;
         loop {
             if let Some(v) = &self.finished {
                 return Ok(RunOutcome::Finished(*v));
@@ -325,7 +347,15 @@ impl<'p> Vm<'p> {
             if self.clock.total() - start >= budget {
                 return Ok(RunOutcome::BudgetExhausted);
             }
-            self.step()?;
+            let frame = self
+                .stack
+                .last()
+                .ok_or(VmError::NoActiveFrame { context: "executing an instruction" })?;
+            if !current.as_ref().is_some_and(|v| Arc::ptr_eq(v, &frame.version)) {
+                current = Some(Arc::clone(&frame.version));
+            }
+            let version = current.as_ref().expect("cached above");
+            self.step_with(version)?;
             if let Some(req) = self.pending_osr.take() {
                 return Ok(RunOutcome::OsrRequest(req));
             }
@@ -442,6 +472,7 @@ impl<'p> Vm<'p> {
         Ok(())
     }
 
+    #[inline]
     fn fault_site(&self) -> (MethodId, usize) {
         match self.stack.last() {
             Some(f) => (f.version.method, f.pc),
@@ -449,42 +480,44 @@ impl<'p> Vm<'p> {
         }
     }
 
+    #[inline]
     fn int(&self, v: Value) -> Result<i64, VmError> {
         let (method, pc) = self.fault_site();
         v.as_int().ok_or(VmError::TypeError { method, pc, expected: "integer" })
     }
 
-    /// Executes one instruction.
-    fn step(&mut self) -> Result<(), VmError> {
-        let frame = self
+    /// Executes one instruction of `version`, which the caller guarantees
+    /// is (pointer-equal to) the top frame's version — the run loop caches
+    /// it across steps so the steady state clones no `Arc` and no `Instr`;
+    /// the instruction is *borrowed* from the version's body.
+    fn step_with(&mut self, version: &Arc<MethodVersion>) -> Result<(), VmError> {
+        let pc = self
             .stack
             .last()
-            .ok_or(VmError::NoActiveFrame { context: "executing an instruction" })?;
-        let version = Arc::clone(&frame.version);
-        let pc = frame.pc;
+            .ok_or(VmError::NoActiveFrame { context: "executing an instruction" })?
+            .pc;
         let instr = version
             .body
             .get(pc)
-            .cloned()
             .ok_or(VmError::PcOutOfRange { method: version.method, pc })?;
         let app_component = match version.level {
             OptLevel::Baseline => Component::AppBaseline,
             OptLevel::Optimized => Component::AppOptimized,
         };
-        self.clock.charge(app_component, self.cost.instr_cost(&instr, version.level));
+        self.clock.charge(app_component, self.cost.instr_cost(instr, version.level));
 
         let method = version.method;
         let mut next_pc = pc + 1;
         match instr {
-            Instr::Const { dst, value } => self.set_reg(dst, Value::Int(value))?,
-            Instr::ConstNull { dst } => self.set_reg(dst, Value::Null)?,
+            Instr::Const { dst, value } => self.set_reg(*dst, Value::Int(*value))?,
+            Instr::ConstNull { dst } => self.set_reg(*dst, Value::Null)?,
             Instr::Move { dst, src } => {
-                let v = self.reg(src)?;
-                self.set_reg(dst, v)?;
+                let v = self.reg(*src)?;
+                self.set_reg(*dst, v)?;
             }
             Instr::Bin { op, dst, lhs, rhs } => {
-                let a = self.int(self.reg(lhs)?)?;
-                let b = self.int(self.reg(rhs)?)?;
+                let a = self.int(self.reg(*lhs)?)?;
+                let b = self.int(self.reg(*rhs)?)?;
                 let r = match op {
                     BinOp::Add => a.wrapping_add(b),
                     BinOp::Sub => a.wrapping_sub(b),
@@ -505,85 +538,85 @@ impl<'p> Vm<'p> {
                     BinOp::Or => a | b,
                     BinOp::Xor => a ^ b,
                 };
-                self.set_reg(dst, Value::Int(r))?;
+                self.set_reg(*dst, Value::Int(r))?;
             }
             Instr::Work { .. } => {}
             Instr::New { dst, class } => {
-                let layout = self.program.class(class).layout_size();
-                let r = self.heap.alloc_object(class, layout);
-                self.set_reg(dst, Value::Ref(r))?;
+                let layout = self.program.class(*class).layout_size();
+                let r = self.heap.alloc_object(*class, layout);
+                self.set_reg(*dst, Value::Ref(r))?;
             }
             Instr::GetField { dst, obj, field } => {
-                let r = self.reg(obj)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
-                let off = self.program.field(field).offset();
+                let r = self.reg(*obj)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let off = self.program.field(*field).offset();
                 let v = self
                     .heap
                     .get_field(r, off)
                     .ok_or(VmError::TypeError { method, pc, expected: "object" })?;
-                self.set_reg(dst, v)?;
+                self.set_reg(*dst, v)?;
             }
             Instr::PutField { obj, field, src } => {
-                let r = self.reg(obj)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
-                let off = self.program.field(field).offset();
-                let v = self.reg(src)?;
+                let r = self.reg(*obj)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let off = self.program.field(*field).offset();
+                let v = self.reg(*src)?;
                 if !self.heap.put_field(r, off, v) {
                     return Err(VmError::TypeError { method, pc, expected: "object" });
                 }
             }
             Instr::GetGlobal { dst, global } => {
                 let v = self.globals[global.index()];
-                self.set_reg(dst, v)?;
+                self.set_reg(*dst, v)?;
             }
             Instr::PutGlobal { global, src } => {
-                self.globals[global.index()] = self.reg(src)?;
+                self.globals[global.index()] = self.reg(*src)?;
             }
             Instr::ArrNew { dst, len } => {
-                let n = self.int(self.reg(len)?)?;
+                let n = self.int(self.reg(*len)?)?;
                 if n < 0 {
                     return Err(VmError::NegativeArrayLength { method, pc });
                 }
                 let r = self.heap.alloc_array(n as u32);
-                self.set_reg(dst, Value::Ref(r))?;
+                self.set_reg(*dst, Value::Ref(r))?;
             }
             Instr::ArrGet { dst, arr, idx } => {
-                let r = self.reg(arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
-                let i = self.int(self.reg(idx)?)?;
+                let r = self.reg(*arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let i = self.int(self.reg(*idx)?)?;
                 let v = self
                     .heap
                     .arr_get(r, i)
                     .ok_or(VmError::IndexOutOfBounds { method, pc, index: i })?;
-                self.set_reg(dst, v)?;
+                self.set_reg(*dst, v)?;
             }
             Instr::ArrSet { arr, idx, src } => {
-                let r = self.reg(arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
-                let i = self.int(self.reg(idx)?)?;
-                let v = self.reg(src)?;
+                let r = self.reg(*arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let i = self.int(self.reg(*idx)?)?;
+                let v = self.reg(*src)?;
                 if !self.heap.arr_set(r, i, v) {
                     return Err(VmError::IndexOutOfBounds { method, pc, index: i });
                 }
             }
             Instr::ArrLen { dst, arr } => {
-                let r = self.reg(arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
+                let r = self.reg(*arr)?.as_ref().ok_or(VmError::NullDeref { method, pc })?;
                 let n = self
                     .heap
                     .arr_len(r)
                     .ok_or(VmError::TypeError { method, pc, expected: "array" })?;
-                self.set_reg(dst, Value::Int(n))?;
+                self.set_reg(*dst, Value::Int(n))?;
             }
             Instr::InstanceOf { dst, obj, class } => {
-                let result = match self.reg(obj)? {
+                let result = match self.reg(*obj)? {
                     Value::Ref(r) => match self.heap.class_of(r) {
-                        Some(c) => self.program.is_subclass(c, class),
+                        Some(c) => self.program.is_subclass(c, *class),
                         None => false,
                     },
                     _ => false,
                 };
-                self.set_reg(dst, Value::Int(result as i64))?;
+                self.set_reg(*dst, Value::Int(result as i64))?;
             }
-            Instr::Jump { target } => next_pc = target as usize,
+            Instr::Jump { target } => next_pc = *target as usize,
             Instr::Branch { cond, lhs, rhs, target } => {
-                let a = self.reg(lhs)?;
-                let b = self.reg(rhs)?;
+                let a = self.reg(*lhs)?;
+                let b = self.reg(*rhs)?;
                 let taken = match cond {
                     Cond::Eq => a.vm_eq(b),
                     Cond::Ne => !a.vm_eq(b),
@@ -593,12 +626,12 @@ impl<'p> Vm<'p> {
                     Cond::Ge => self.int(a)? >= self.int(b)?,
                 };
                 if taken {
-                    next_pc = target as usize;
+                    next_pc = *target as usize;
                 }
             }
             Instr::GuardClass { recv, class, else_target } => {
-                let pass = match self.reg(recv)? {
-                    Value::Ref(r) => self.heap.class_of(r) == Some(class),
+                let pass = match self.reg(*recv)? {
+                    Value::Ref(r) => self.heap.class_of(r) == Some(*class),
                     _ => false,
                 };
                 self.counters.guard_checks += 1;
@@ -606,7 +639,7 @@ impl<'p> Vm<'p> {
                 if !pass {
                     self.counters.guard_misses += 1;
                     self.guard_stats[method.index()].misses += 1;
-                    next_pc = else_target as usize;
+                    next_pc = *else_target as usize;
                     if let Some(t) = &self.trace {
                         t.emit(
                             self.clock.total(),
@@ -617,12 +650,12 @@ impl<'p> Vm<'p> {
                 self.note_guard(pass);
             }
             Instr::GuardMethod { recv, selector, target, else_target } => {
-                let pass = match self.reg(recv)? {
+                let pass = match self.reg(*recv)? {
                     Value::Ref(r) => self
                         .heap
                         .class_of(r)
-                        .and_then(|c| self.program.lookup_virtual(c, selector))
-                        == Some(target),
+                        .and_then(|c| self.program.lookup_virtual(c, *selector))
+                        == Some(*target),
                     _ => false,
                 };
                 self.counters.guard_checks += 1;
@@ -630,7 +663,7 @@ impl<'p> Vm<'p> {
                 if !pass {
                     self.counters.guard_misses += 1;
                     self.guard_stats[method.index()].misses += 1;
-                    next_pc = else_target as usize;
+                    next_pc = *else_target as usize;
                     if let Some(t) = &self.trace {
                         t.emit(
                             self.clock.total(),
@@ -646,17 +679,17 @@ impl<'p> Vm<'p> {
                     .iter()
                     .map(|&a| self.reg(a))
                     .collect::<Result<Vec<Value>, VmError>>()?;
-                let callee_version = self.ensure_compiled(callee);
+                let callee_version = self.ensure_compiled(*callee);
                 // The caller's pc stays on the call instruction while the
                 // callee runs (stack walks read the site from it); it is
                 // advanced on return.
-                self.push_frame(callee_version, argv, dst)?;
+                self.push_frame(callee_version, argv, *dst)?;
                 return Ok(());
             }
             Instr::CallVirtual { dst, selector, recv, args, .. } => {
                 self.counters.calls += 1;
                 self.counters.virtual_dispatches += 1;
-                let recv_val = self.reg(recv)?;
+                let recv_val = self.reg(*recv)?;
                 let r = recv_val.as_ref().ok_or(VmError::NullDeref { method, pc })?;
                 let class = self
                     .heap
@@ -664,20 +697,20 @@ impl<'p> Vm<'p> {
                     .ok_or(VmError::TypeError { method, pc, expected: "object" })?;
                 let target = self
                     .program
-                    .lookup_virtual(class, selector)
-                    .ok_or(VmError::NoSuchMethod { selector, method, pc })?;
+                    .lookup_virtual(class, *selector)
+                    .ok_or(VmError::NoSuchMethod { selector: *selector, method, pc })?;
                 let mut argv = Vec::with_capacity(args.len() + 1);
                 argv.push(recv_val);
-                for &a in &args {
+                for &a in args {
                     argv.push(self.reg(a)?);
                 }
                 let callee_version = self.ensure_compiled(target);
-                self.push_frame(callee_version, argv, dst)?;
+                self.push_frame(callee_version, argv, *dst)?;
                 return Ok(());
             }
             Instr::Return { src } => {
                 let value = match src {
-                    Some(r) => Some(self.reg(r)?),
+                    Some(r) => Some(self.reg(*r)?),
                     None => None,
                 };
                 let finished_frame = self
@@ -717,7 +750,7 @@ impl<'p> Vm<'p> {
                     if (invalidated || armed)
                         && version.osr_map.exit_at_opt(next_pc as u32).is_some()
                     {
-                        return self.osr_exit(&version, next_pc as u32);
+                        return self.osr_exit(version, next_pc as u32);
                     }
                 }
             }
@@ -730,6 +763,7 @@ impl<'p> Vm<'p> {
     }
 
     /// Frame-local guard bookkeeping for the OSR-out thrash detector.
+    #[inline]
     fn note_guard(&mut self, pass: bool) {
         if !self.config.osr_enabled {
             return;
@@ -892,6 +926,7 @@ impl<'p> Vm<'p> {
         self.osr_suppressed.insert(method);
     }
 
+    #[inline]
     fn reg(&self, r: Reg) -> Result<Value, VmError> {
         let frame = self
             .stack
@@ -904,6 +939,7 @@ impl<'p> Vm<'p> {
         })
     }
 
+    #[inline]
     fn set_reg(&mut self, r: Reg, v: Value) -> Result<(), VmError> {
         let frame = self
             .stack

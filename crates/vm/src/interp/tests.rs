@@ -459,6 +459,7 @@ fn optimized_code_with_inline_map_recovers_source_frames() {
         code_size: 50_003,
         version_id: 0,
         osr_map: crate::OsrMap::empty(),
+        decoded: crate::DecodeCache::default(),
     };
 
     let cost = CostModel { sample_period: 10_000, ..CostModel::default() };
@@ -520,6 +521,7 @@ fn naive_walk_hides_inlined_frames() {
         code_size: 50_001,
         version_id: 0,
         osr_map: crate::OsrMap::empty(),
+        decoded: crate::DecodeCache::default(),
     };
 
     let cost = CostModel { sample_period: 10_000, ..CostModel::default() };
@@ -627,6 +629,7 @@ fn guard_class_dispatches_inline_vs_fallback() {
         code_size: 20,
         version_id: 0,
         osr_map: crate::OsrMap::empty(),
+        decoded: crate::DecodeCache::default(),
     };
 
     let cost = CostModel { sample_period: 0, ..CostModel::default() };

@@ -167,6 +167,7 @@ mod tests {
             code_size: size,
             version_id: 0,
             osr_map: crate::OsrMap::empty(),
+            decoded: crate::DecodeCache::default(),
         }
     }
 

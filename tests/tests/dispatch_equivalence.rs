@@ -1,0 +1,226 @@
+//! Dispatch equivalence: the pre-decoded threaded interpreter
+//! (`VmConfig::decode = true`, the default) and the legacy per-step
+//! `match` loop must be **observationally indistinguishable** on the
+//! simulated clock. Pre-decoding is a pure wall-clock optimization
+//! (DESIGN.md §13): every charged cycle, sample, counter, OSR event,
+//! recovery event and flight-recorder timestamp must be bit-identical
+//! between the two paths, across the same adaptive matrix the
+//! differential oracle sweeps — and across randomly generated fuzz
+//! programs, where the superinstruction fusion table meets operand
+//! shapes the curated suite never produces.
+//!
+//! Structure mirrors `differential_oracle.rs`: same shrunken workloads,
+//! same prime sample period / low thresholds, same `AOCI_JOBS` sweep
+//! pool with assertions in canonical order. The one new axis is
+//! `vm.decode`, flipped per cell and compared cell-by-cell.
+
+use aoci_aos::{AosConfig, AosReport, AosSystem, FaultConfig, TraceConfig};
+use aoci_bench::EnvConfig;
+use aoci_core::PolicyKind;
+use aoci_vm::{CostModel, COMPONENTS};
+use aoci_workloads::{build, spec_by_name, WorkloadSpec};
+
+/// A shrunken suite workload, long enough to cross the OSR back-edge
+/// threshold used below (same shape as the differential oracle's).
+fn small(name: &str) -> WorkloadSpec {
+    let mut spec = spec_by_name(name).expect("suite workload");
+    spec.iterations = 120;
+    spec
+}
+
+/// One adaptive configuration, identical to the differential oracle's
+/// except for the dispatch mode under test.
+fn config(policy: PolicyKind, osr: bool, fault: Option<FaultConfig>, decode: bool) -> AosConfig {
+    let mut c = AosConfig::new(policy).enable_guard_monitoring();
+    if osr {
+        c = c.enable_osr();
+    }
+    if let Some(f) = fault {
+        c = c.enable_faults(f);
+    }
+    c.cost = CostModel { sample_period: 2_003, ..CostModel::default() };
+    c.hot_method_samples = 2;
+    c.organizer_period_samples = 4;
+    c.missing_edge_period_samples = 8;
+    c.vm.osr_backedge_threshold = 48;
+    c.vm.decode = decode;
+    c
+}
+
+fn run(program: &aoci_ir::Program, c: AosConfig) -> AosReport {
+    AosSystem::new(program, c).run().expect("adaptive run succeeds")
+}
+
+/// Asserts a decoded-dispatch report equals a legacy-dispatch report,
+/// field by field, on every simulated-clock observable.
+fn assert_identical(dec: &AosReport, leg: &AosReport, what: &str) {
+    assert_eq!(dec.result, leg.result, "{what}: result differs across dispatch modes");
+    assert_eq!(dec.total_cycles(), leg.total_cycles(), "{what}: cycle totals differ");
+    for c in COMPONENTS {
+        assert_eq!(
+            dec.clock.component(c),
+            leg.clock.component(c),
+            "{what}: component {c} cycles differ"
+        );
+    }
+    assert_eq!(dec.samples, leg.samples, "{what}: sample counts differ");
+    assert_eq!(dec.counters, leg.counters, "{what}: exec counters differ");
+    assert_eq!(dec.osr, leg.osr, "{what}: OSR events differ");
+    assert_eq!(dec.recovery, leg.recovery, "{what}: recovery events differ");
+    assert_eq!(dec.async_compile, leg.async_compile, "{what}: async ledgers differ");
+    assert_eq!(dec.opt_compilations, leg.opt_compilations, "{what}: compilations differ");
+    assert_eq!(dec.optimized_code_size, leg.optimized_code_size, "{what}: code size differs");
+    assert_eq!(dec.dcg_entries, leg.dcg_entries, "{what}: DCG sizes differ");
+    assert_eq!(dec.final_rules, leg.final_rules, "{what}: rule counts differ");
+}
+
+/// The policy × ±OSR × ±chaos matrix, canonical order.
+fn matrix(policies: &[PolicyKind], seed: u64) -> Vec<(PolicyKind, bool, Option<FaultConfig>)> {
+    let mut m = Vec::new();
+    for &policy in policies {
+        for osr in [false, true] {
+            for fault in [None, Some(FaultConfig::chaos(seed))] {
+                m.push((policy, osr, fault));
+            }
+        }
+    }
+    m
+}
+
+/// Runs `name`'s full matrix once per dispatch mode and compares the
+/// aggregate reports cell-by-cell.
+fn check_workload(name: &str, policies: &[PolicyKind]) {
+    let env = EnvConfig::from_env();
+    let seed = env.oracle_seed;
+    let w = build(&small(name));
+    let cells = matrix(policies, seed);
+    let results = env.pool().map(cells.clone(), |(policy, osr, fault)| {
+        let dec = run(&w.program, config(*policy, *osr, fault.clone(), true));
+        let leg = run(&w.program, config(*policy, *osr, fault.clone(), false));
+        (dec, leg)
+    });
+    for ((policy, osr, fault), (dec, leg)) in cells.iter().zip(results) {
+        let what = format!("{name}/{policy}/osr={osr}/fault={}/seed={seed}", fault.is_some());
+        assert_identical(&dec, &leg, &what);
+    }
+}
+
+#[test]
+fn sweep_compress_all_policies() {
+    check_workload(
+        "compress",
+        &[
+            PolicyKind::ContextInsensitive,
+            PolicyKind::Fixed { max: 3 },
+            PolicyKind::AdaptiveResolving { max: 3 },
+        ],
+    );
+}
+
+#[test]
+fn sweep_db() {
+    check_workload("db", &[PolicyKind::Fixed { max: 3 }]);
+}
+
+#[test]
+fn sweep_mtrt() {
+    check_workload("mtrt", &[PolicyKind::AdaptiveResolving { max: 3 }]);
+}
+
+#[test]
+fn sweep_hashmap_motivation() {
+    let env = EnvConfig::from_env();
+    let program = aoci_workloads::hashmap_test(600);
+    let cells = matrix(&[PolicyKind::Fixed { max: 3 }], env.oracle_seed);
+    let results = env.pool().map(cells.clone(), |(policy, osr, fault)| {
+        let dec = run(&program, config(*policy, *osr, fault.clone(), true));
+        let leg = run(&program, config(*policy, *osr, fault.clone(), false));
+        (dec, leg)
+    });
+    for ((_, osr, fault), (dec, leg)) in cells.iter().zip(results) {
+        assert_identical(&dec, &leg, &format!("hashmap/osr={osr}/fault={}", fault.is_some()));
+    }
+}
+
+/// The flight recorder sees through dispatch modes: a traced run under
+/// decoded dispatch must produce the **byte-identical event stream** —
+/// same events, same order, same simulated-cycle timestamps, same
+/// rendered lines and Chrome export — as a traced run under the legacy
+/// loop. Timestamps come from the simulated clock, so any drift in when
+/// a cycle is charged relative to an event site shows up here first.
+#[test]
+fn traced_streams_are_byte_identical() {
+    let env = EnvConfig::from_env();
+    let seed = env.oracle_seed;
+    let w = build(&small("compress"));
+    let resolve = |m: aoci_ir::MethodId| w.program.method(m).name().to_string();
+    let policies = [
+        PolicyKind::ContextInsensitive,
+        PolicyKind::Fixed { max: 3 },
+        PolicyKind::AdaptiveResolving { max: 3 },
+    ];
+    // OSR + chaos on, so the stream covers promotion, deopt and recovery.
+    let traced = |policy, decode| {
+        config(policy, true, Some(FaultConfig::chaos(seed)), decode)
+            .enable_trace_with(TraceConfig::default())
+    };
+    let runs = env.pool().map(policies.to_vec(), |&policy| {
+        let dec = run(&w.program, traced(policy, true));
+        let leg = run(&w.program, traced(policy, false));
+        (dec, leg)
+    });
+    for (policy, (dec, leg)) in policies.into_iter().zip(runs) {
+        let what = format!("traced compress/{policy}/seed={seed}");
+        assert_identical(&dec, &leg, &what);
+        let (log_d, log_l) = (dec.trace_log.as_ref().unwrap(), leg.trace_log.as_ref().unwrap());
+        assert_eq!(log_d.emitted, log_l.emitted, "{what}: emitted counts differ");
+        assert_eq!(log_d.dropped, log_l.dropped, "{what}: dropped counts differ");
+        assert_eq!(
+            log_d.render_lines(&resolve),
+            log_l.render_lines(&resolve),
+            "{what}: rendered event streams differ across dispatch modes"
+        );
+        assert_eq!(
+            log_d.to_chrome_string(&resolve),
+            log_l.to_chrome_string(&resolve),
+            "{what}: Chrome exports differ across dispatch modes"
+        );
+    }
+}
+
+/// Fuzz-generated programs through the full differential matrix in both
+/// dispatch modes: findings, and the coverage fingerprint read from the
+/// traced cells, must agree case-by-case. Generated programs reach
+/// operand shapes (degenerate bodies, megamorphic sites, unwind-style
+/// control flow) where the fusion table meets pairs the curated suite
+/// never forms, so this is the widest net for a fused handler that
+/// charges or branches differently from its two-instruction expansion.
+#[test]
+fn fuzz_cases_agree_across_dispatch_modes() {
+    let env = EnvConfig::from_env();
+    let seed = env.fuzz_seed;
+    let cases: Vec<usize> = (0..50).collect();
+    let outcomes = env.pool().map(cases, |&i| {
+        let spec = aoci_fuzz::sample_spec(seed, i);
+        let dec = aoci_fuzz::run_case_with_decode(&spec, true);
+        let leg = aoci_fuzz::run_case_with_decode(&spec, false);
+        (i, dec, leg)
+    });
+    for (i, dec, leg) in outcomes {
+        let what = format!("fuzz case {i} (campaign seed {seed})");
+        assert!(
+            dec.clean(),
+            "{what}: decoded dispatch produced findings: {:?}",
+            dec.findings
+        );
+        assert!(
+            leg.clean(),
+            "{what}: legacy dispatch produced findings: {:?}",
+            leg.findings
+        );
+        assert_eq!(
+            dec.fingerprint, leg.fingerprint,
+            "{what}: coverage fingerprints differ across dispatch modes"
+        );
+    }
+}

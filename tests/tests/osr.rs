@@ -6,7 +6,7 @@
 
 use aoci_aos::{AosConfig, AosReport, AosSystem, OsrEvents};
 use aoci_core::PolicyKind;
-use aoci_ir::{BinOp, Cond, Program, ProgramBuilder};
+use aoci_ir::{decode_body, fusion_plan, BinOp, Cond, DecodedOp, FusedKind, Program, ProgramBuilder};
 use aoci_vm::{Component, CostModel, Value, Vm};
 
 fn baseline_result(p: &Program) -> Option<Value> {
@@ -255,6 +255,200 @@ fn thrashing_activation_deoptimizes_before_it_returns() {
     let stale = run(&p, no_osr);
     assert_eq!(stale.result, expected);
     assert_eq!(stale.osr, OsrEvents::default());
+}
+
+/// Like [`loop_in_main`], but shaped so the decoded form's
+/// superinstruction fusion (DESIGN.md §13) overlaps both ends of the
+/// loop's back edge: the loop-top instruction is the *second half* of a
+/// fused `Const+Bin` pair (the jump target lands mid-superinstruction),
+/// and the back edge itself is the *second half* of a fused `Bin+Branch`
+/// pair (the back-edge counter fires from inside a superinstruction).
+/// `fused_boundaries_are_where_this_test_thinks` pins the shape down so
+/// a fusion-table change can't silently turn these tests into no-ops.
+fn fused_loop_in_main(n: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let sel = b.selector("val", 0);
+    let a = b.class("A", None);
+    let cb = b.class("B", Some(a));
+    {
+        let mut m = b.virtual_method("A.val", a, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 1);
+        m.ret(Some(r));
+        m.finish();
+    }
+    {
+        let mut m = b.virtual_method("B.val", cb, sel);
+        m.work(10);
+        let r = m.fresh_reg();
+        m.const_int(r, 2);
+        m.ret(Some(r));
+        m.finish();
+    }
+    let g = b.global("obj");
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let oa = m.fresh_reg();
+        let ob = m.fresh_reg();
+        m.new_obj(oa, a);
+        m.new_obj(ob, cb);
+        m.put_global(g, oa);
+        let i = m.fresh_reg();
+        let nn = m.fresh_reg();
+        let one = m.fresh_reg();
+        let zero = m.fresh_reg();
+        let half = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let o = m.fresh_reg();
+        let r = m.fresh_reg();
+        m.const_int(i, 0);
+        m.const_int(nn, n);
+        m.const_int(one, 1);
+        m.const_int(zero, 0);
+        m.const_int(half, n / 2);
+        let top = m.label();
+        let skip = m.label();
+        // Const directly before the loop top, Bin directly at it: the
+        // back edge below jumps into the middle of this fused pair.
+        m.const_int(acc, 0);
+        m.bind(top);
+        m.bin(BinOp::Add, acc, acc, zero);
+        m.branch(Cond::Ne, i, half, skip);
+        m.put_global(g, ob);
+        m.bind(skip);
+        m.get_global(o, g);
+        m.call_virtual(Some(r), sel, o, &[]);
+        m.bin(BinOp::Add, acc, acc, r);
+        // Bin directly before the bottom-tested back edge: the back-edge
+        // branch executes as the second half of a fused pair.
+        m.bin(BinOp::Add, i, i, one);
+        m.branch(Cond::Lt, i, nn, top);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    b.finish(main).unwrap()
+}
+
+/// Finds `main`'s back edge (the one Branch whose target precedes it)
+/// and returns `(branch_pc, target_pc)` in the decoded body.
+fn back_edge(p: &Program) -> (usize, usize) {
+    let main = p.methods().find(|m| m.name() == "main").expect("main exists");
+    let decoded = decode_body(main.body(), p);
+    for (pc, op) in decoded.iter().enumerate() {
+        if let DecodedOp::Branch { target, .. } = op {
+            if (*target as usize) < pc {
+                return (pc, *target as usize);
+            }
+        }
+    }
+    panic!("main has no back edge");
+}
+
+/// Pins down the shape `fused_loop_in_main` claims: both the back-edge
+/// branch and its target are second halves of fused pairs.
+#[test]
+fn fused_boundaries_are_where_this_test_thinks() {
+    let p = fused_loop_in_main(6_000);
+    let main = p.methods().find(|m| m.name() == "main").expect("main exists");
+    let decoded = decode_body(main.body(), &p);
+    let plan = fusion_plan(&decoded);
+    let (branch_pc, top_pc) = back_edge(&p);
+    assert_eq!(
+        plan[branch_pc - 1],
+        Some(FusedKind::BinBranch),
+        "back edge is not the second half of a fused Bin+Branch pair"
+    );
+    assert_eq!(
+        plan[top_pc - 1],
+        Some(FusedKind::ConstBin),
+        "loop top is not the second half of a fused Const+Bin pair"
+    );
+}
+
+/// OSR-in across fused superinstruction boundaries: the back-edge
+/// counter fires from inside a fused pair, and the promoted frame's
+/// entry pc is the second half of another fused pair. Because decoded pc
+/// == source pc (1:1 layout), that pc is legal in both forms — the run
+/// must finish with the baseline result, actually promote, and be
+/// bit-identical to the same run under the legacy dispatch loop.
+#[test]
+fn osr_in_crosses_fused_superinstruction_boundary() {
+    let p = fused_loop_in_main(6_000);
+    let expected = baseline_result(&p);
+    let make = |decode: bool| {
+        let mut c = fast(AosConfig::with_osr(PolicyKind::Fixed { max: 3 }));
+        c.recovery.monitor_guard_health = true;
+        c.vm.decode = decode;
+        c
+    };
+    let dec = run(&p, make(true));
+    let leg = run(&p, make(false));
+    assert_eq!(dec.result, expected, "OSR through fused dispatch must not change semantics");
+    assert!(
+        dec.osr.entries >= 1,
+        "the single main activation should be promoted mid-loop: {:?}",
+        dec.osr
+    );
+    assert_eq!(dec.result, leg.result, "dispatch modes disagree on result");
+    assert_eq!(dec.total_cycles(), leg.total_cycles(), "dispatch modes disagree on cycles");
+    assert_eq!(dec.counters, leg.counters, "dispatch modes disagree on counters");
+    assert_eq!(dec.osr, leg.osr, "dispatch modes disagree on OSR events");
+    assert_eq!(dec.recovery, leg.recovery, "dispatch modes disagree on recovery events");
+}
+
+/// OSR-out landing on a fused boundary: in `warm_then_thrash`, `spin`'s
+/// loop top is a Branch fused with the Const before it, so when the
+/// thrashing optimized activation deoptimizes at the back edge, the
+/// frame mapping's continuation pc is the second half of a fused pair in
+/// the baseline body it returns to. The exit must happen, land on a
+/// legal pc (the run completes with the baseline result), and be
+/// bit-identical across dispatch modes.
+#[test]
+fn osr_out_lands_on_fused_boundary() {
+    let p = warm_then_thrash(8, 300, 4_000);
+    let expected = baseline_result(&p);
+
+    // Pin the shape: spin's loop-top branch is fused with the Const
+    // before it, so the deopt continuation pc sits mid-superinstruction.
+    let spin = p.methods().find(|m| m.name() == "spin").expect("spin exists");
+    let decoded = decode_body(spin.body(), &p);
+    let plan = fusion_plan(&decoded);
+    let top = decoded
+        .iter()
+        .enumerate()
+        .find_map(|(pc, op)| match op {
+            DecodedOp::Jump { target } if (*target as usize) < pc => Some(*target as usize),
+            _ => None,
+        })
+        .expect("spin has a back edge");
+    assert_eq!(
+        plan[top - 1],
+        Some(FusedKind::ConstBranch),
+        "spin's loop top is not the second half of a fused Const+Branch pair"
+    );
+
+    let make = |decode: bool| {
+        let mut c = fast(AosConfig::with_osr(PolicyKind::ContextInsensitive));
+        c.recovery.monitor_guard_health = true;
+        c.vm.osr_backedge_threshold = 1_000_000;
+        c.vm.decode = decode;
+        c
+    };
+    let dec = run(&p, make(true));
+    let leg = run(&p, make(false));
+    assert_eq!(dec.result, expected, "deopt through fused dispatch must not change semantics");
+    assert_eq!(dec.osr.entries, 0, "promotion was disabled by the huge threshold");
+    assert!(
+        dec.osr.exits >= 1,
+        "the thrashing activation must deoptimize mid-loop: {:?}",
+        dec.osr
+    );
+    assert_eq!(dec.result, leg.result, "dispatch modes disagree on result");
+    assert_eq!(dec.total_cycles(), leg.total_cycles(), "dispatch modes disagree on cycles");
+    assert_eq!(dec.counters, leg.counters, "dispatch modes disagree on counters");
+    assert_eq!(dec.osr, leg.osr, "dispatch modes disagree on OSR events");
+    assert_eq!(dec.recovery, leg.recovery, "dispatch modes disagree on recovery events");
 }
 
 #[test]

@@ -1,0 +1,194 @@
+//! Property-based testing of the pre-decoded instruction form
+//! (DESIGN.md §13). The decoded representation retains every source
+//! identifier alongside its resolved offset/layout, so decoding must be
+//! **losslessly invertible** — `encode ∘ decode` is the identity on any
+//! valid method body — and superinstruction fusion is a pure dispatch
+//! overlay: it never changes which cycles are charged, in what order, or
+//! where branches land.
+//!
+//! Program shapes come from the fuzz generator
+//! ([`aoci_workloads::build_fuzz`] over sampled
+//! [`FuzzSpec`](aoci_workloads::FuzzSpec)s), which reaches field/array
+//! traffic, inheritance chains, megamorphic sites and unwind-style
+//! control flow the curated suite never forms, plus the curated suite
+//! itself as a fixed corpus.
+
+use aoci_ir::{decode_body, encode_body, fused_kind, fusion_plan, DecodedOp, Program};
+use aoci_vm::{CostModel, Value, Vm, VmConfig, VmError};
+use aoci_workloads::{build, suite};
+use proptest::prelude::*;
+
+/// Draws a generated program as a pure function of (campaign seed, case
+/// index) — the same sampler the fuzz campaign uses, so every shape its
+/// spec space covers is reachable here.
+fn fuzz_program(seed: u64, index: usize) -> Program {
+    let spec = aoci_fuzz::sample_spec(seed, index);
+    aoci_workloads::build_fuzz(&spec).expect("sampled spec builds").program
+}
+
+/// decode ∘ encode identity over one whole program.
+fn assert_roundtrip(program: &Program, what: &str) {
+    for m in program.methods() {
+        let decoded = decode_body(m.body(), program);
+        assert_eq!(
+            encode_body(&decoded),
+            m.body(),
+            "{what}: encode(decode(body)) != body for method {}",
+            m.name()
+        );
+    }
+}
+
+/// Every decoded branch target is an absolute pc inside its body (the
+/// decoded layout is 1:1 with the source body, so decoded pc == source
+/// pc and the legacy bounds argument carries over verbatim).
+fn assert_targets_in_range(program: &Program, what: &str) {
+    for m in program.methods() {
+        let decoded = decode_body(m.body(), program);
+        let len = decoded.len();
+        for (pc, op) in decoded.iter().enumerate() {
+            let targets: Vec<u32> = match op {
+                DecodedOp::Jump { target } => vec![*target],
+                DecodedOp::Branch { target, .. } => vec![*target],
+                DecodedOp::GuardClass { else_target, .. } => vec![*else_target],
+                DecodedOp::GuardMethod { target: _, else_target, .. } => vec![*else_target],
+                _ => Vec::new(),
+            };
+            for t in targets {
+                assert!(
+                    (t as usize) < len,
+                    "{what}: {}@{pc} resolves to target {t} outside body of {len}",
+                    m.name()
+                );
+            }
+        }
+    }
+}
+
+/// The fusion plan is exactly the static pair table applied position by
+/// position: one entry per instruction, entry `i` agreeing with
+/// [`fused_kind`] on the pair `(i, i+1)`, and necessarily `None` at the
+/// last instruction.
+fn assert_plan_consistent(program: &Program, what: &str) {
+    for m in program.methods() {
+        let decoded = decode_body(m.body(), program);
+        let plan = fusion_plan(&decoded);
+        assert_eq!(plan.len(), decoded.len(), "{what}: plan length mismatch in {}", m.name());
+        for (i, entry) in plan.iter().enumerate() {
+            let expect = decoded.get(i + 1).and_then(|b| fused_kind(&decoded[i], b));
+            assert_eq!(
+                *entry,
+                expect,
+                "{what}: plan[{i}] disagrees with fused_kind in {}",
+                m.name()
+            );
+        }
+        if let Some(last) = plan.last() {
+            assert_eq!(*last, None, "{what}: last instruction cannot head a pair in {}", m.name());
+        }
+    }
+}
+
+/// Faults reduced to kind, as in `proptest_compiler.rs`.
+fn outcome(program: &Program, decode: bool) -> (Result<Option<Value>, String>, u64) {
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    let mut vm = Vm::with_config(program, cost, VmConfig { decode, ..VmConfig::default() });
+    let result = vm.run_to_completion().map_err(|e| {
+        match e {
+            VmError::NullDeref { .. } => "null",
+            VmError::TypeError { .. } => "type",
+            VmError::DivideByZero { .. } => "div0",
+            VmError::IndexOutOfBounds { .. } => "bounds",
+            VmError::NoSuchMethod { .. } => "nosuch",
+            VmError::NegativeArrayLength { .. } => "neglen",
+            VmError::StackOverflow { .. } => "overflow",
+            VmError::BadRegister { .. } => "badreg",
+            VmError::PcOutOfRange { .. } => "badpc",
+            VmError::NoActiveFrame { .. } => "noframe",
+        }
+        .to_string()
+    });
+    (result, vm.clock().total())
+}
+
+/// Fusion never changes the charged cost: a full run charges exactly the
+/// same simulated cycles — and the same exec counters — whether every
+/// basic block executes through fused superinstructions or one plain
+/// `match` arm at a time. (A fused pair charges cost(A) then cost(B) at
+/// the boundary, so per-block totals are preserved by construction; this
+/// checks the construction end-to-end, faults included.)
+fn assert_cost_invariant(program: &Program, what: &str) {
+    let cost = CostModel { sample_period: 0, ..CostModel::default() };
+    let mut dec = Vm::with_config(program, cost.clone(), VmConfig::default());
+    let mut leg = Vm::with_config(program, cost, VmConfig { decode: false, ..VmConfig::default() });
+    let r_dec = dec.run_to_completion();
+    let r_leg = leg.run_to_completion();
+    assert_eq!(
+        r_dec.is_ok(),
+        r_leg.is_ok(),
+        "{what}: outcome kind differs across dispatch modes"
+    );
+    assert_eq!(
+        dec.clock().total(),
+        leg.clock().total(),
+        "{what}: charged cycles differ across dispatch modes"
+    );
+    assert_eq!(
+        dec.counters(),
+        leg.counters(),
+        "{what}: exec counters differ across dispatch modes"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// encode ∘ decode is the identity on every method body of a
+    /// generated program.
+    #[test]
+    fn decode_roundtrips_fuzz_bodies(seed in 0u64..1u64 << 32, index in 0usize..256) {
+        let program = fuzz_program(seed, index);
+        assert_roundtrip(&program, &format!("fuzz seed={seed} index={index}"));
+    }
+
+    /// Branch-target resolution lands inside the body, and the fusion
+    /// plan is the static table applied pointwise.
+    #[test]
+    fn targets_and_plan_are_well_formed(seed in 0u64..1u64 << 32, index in 0usize..256) {
+        let program = fuzz_program(seed, index);
+        let what = format!("fuzz seed={seed} index={index}");
+        assert_targets_in_range(&program, &what);
+        assert_plan_consistent(&program, &what);
+    }
+
+    /// Fusion never changes the total charged cost of any executed
+    /// block: full-run cycle totals and counters match the legacy loop.
+    #[test]
+    fn fusion_preserves_charged_cost(seed in 0u64..1u64 << 32, index in 0usize..256) {
+        let program = fuzz_program(seed, index);
+        assert_cost_invariant(&program, &format!("fuzz seed={seed} index={index}"));
+    }
+
+    /// The VM-visible outcome (result value or fault kind) is identical
+    /// across dispatch modes on generated programs.
+    #[test]
+    fn outcomes_agree_across_dispatch_modes(seed in 0u64..1u64 << 32, index in 0usize..256) {
+        let program = fuzz_program(seed, index);
+        let (r_dec, c_dec) = outcome(&program, true);
+        let (r_leg, c_leg) = outcome(&program, false);
+        prop_assert_eq!(r_dec, r_leg, "result differs (seed={}, index={})", seed, index);
+        prop_assert_eq!(c_dec, c_leg, "cycles differ (seed={}, index={})", seed, index);
+    }
+}
+
+/// The curated suite as a fixed corpus: every workload body round-trips,
+/// resolves its targets, and carries a consistent fusion plan.
+#[test]
+fn suite_bodies_roundtrip_and_plan() {
+    for spec in suite() {
+        let w = build(&spec);
+        assert_roundtrip(&w.program, &w.name);
+        assert_targets_in_range(&w.program, &w.name);
+        assert_plan_consistent(&w.program, &w.name);
+    }
+}
