@@ -4,6 +4,7 @@ use crate::fault::FaultConfig;
 use aoci_core::{AdaptiveConfig, MatchMode, PolicyKind};
 use aoci_opt::OptConfig;
 use aoci_profile::DcgConfig;
+use aoci_telemetry::MetricsConfig;
 use aoci_trace::TraceConfig;
 use aoci_vm::{CostModel, VmConfig};
 
@@ -172,6 +173,11 @@ pub struct AosConfig {
     /// every plan synchronously inside its epoch tick, bit-identical to
     /// the pre-async system.
     pub async_compile: Option<AsyncCompileConfig>,
+    /// Telemetry metrics registry; `None` (the default) skips every record
+    /// site with a single branch, and — since recording charges no
+    /// simulated cycles — a metered run produces exactly the report of an
+    /// unmetered one (DESIGN.md §14).
+    pub metrics: Option<MetricsConfig>,
     /// Dump the controller's hot-method selection to stderr each epoch
     /// tick (`AOCI_DEBUG_HOT` in the harness binaries). Diagnostics only:
     /// the flag never changes simulated behaviour, and keeping it in the
@@ -208,6 +214,7 @@ impl AosConfig {
             fault: None,
             trace: None,
             async_compile: None,
+            metrics: None,
             debug_hot: false,
         }
     }
@@ -285,6 +292,21 @@ impl AosConfig {
         self
     }
 
+    /// Enables the telemetry metrics registry with default tunables:
+    /// counters, gauges and histograms over AOS/VM internals, snapshotted
+    /// into a per-epoch time series on the simulated clock and carried by
+    /// the final [`AosReport`](crate::AosReport) (DESIGN.md §14).
+    pub fn enable_metrics(self) -> Self {
+        self.enable_metrics_with(MetricsConfig::default())
+    }
+
+    /// Enables the telemetry metrics registry with explicit tunables
+    /// (epoch length in samples).
+    pub fn enable_metrics_with(mut self, metrics: MetricsConfig) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Enables guard-health monitoring (and thrash invalidation) even
     /// without fault injection — see
     /// [`RecoveryConfig::monitor_guard_health`] for why it is off by
@@ -346,11 +368,13 @@ mod tests {
             .enable_osr()
             .enable_trace()
             .enable_async_compile()
+            .enable_metrics()
             .enable_guard_monitoring()
             .enable_debug_hot();
         assert!(c.vm.osr_enabled);
         assert!(c.trace.is_some());
         assert!(c.async_compile.is_some());
+        assert!(c.metrics.is_some());
         assert!(c.recovery.monitor_guard_health);
         assert!(c.debug_hot);
         let c = AosConfig::context_insensitive()

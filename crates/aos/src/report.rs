@@ -6,6 +6,7 @@ use crate::database::CompilationRecord;
 use aoci_ir::MethodId;
 use aoci_json::Value as Json;
 use aoci_profile::TraceStatsReport;
+use aoci_telemetry::MetricsLog;
 use aoci_trace::TraceLog;
 use aoci_vm::{Clock, Component, ExecCounters, Value, COMPONENTS};
 
@@ -240,6 +241,11 @@ pub struct AosReport {
     /// [`AosReport::to_value`] — events are exported through their own
     /// sinks (Chrome trace, rendered lines), not the metrics JSON.
     pub trace_log: Option<TraceLog>,
+    /// The telemetry registry's final log (time series + histograms), when
+    /// metrics were on. Excluded from [`AosReport::to_value`] — snapshots
+    /// are exported through their own sinks (JSONL, Prometheus text,
+    /// dashboards), keeping the primary report bytes identical on/off.
+    pub telemetry: Option<MetricsLog>,
 }
 
 impl AosReport {
@@ -431,6 +437,7 @@ impl AosReport {
             osr: OsrEvents::from_value(v.get("osr")?)?,
             async_compile: AsyncCompileEvents::from_value(v.get("async_compile")?)?,
             trace_log: None,
+            telemetry: None,
         })
     }
 }
@@ -513,6 +520,7 @@ mod tests {
                 foreground_stall_cycles: 300,
             },
             trace_log: None,
+            telemetry: None,
         }
     }
 
@@ -585,6 +593,7 @@ mod tests {
         assert_eq!(back.osr, report.osr);
         assert_eq!(back.async_compile, report.async_compile);
         assert!(back.trace_log.is_none());
+        assert!(back.telemetry.is_none());
 
         // And the derived metrics agree.
         assert_eq!(back.total_cycles(), report.total_cycles());

@@ -10,12 +10,13 @@ use aoci_profile::{
     validate_trace, CallingContextTree, Dcg, MethodListener, ProfileStore, TraceKey,
     TraceListener, TraceStatsCollector,
 };
+use aoci_telemetry::{MetricsLog, MetricsSink};
 use aoci_trace::{
     FaultKind, OsrDenyReason, PlanReason, StaleReason, TraceEvent, TraceLog, TraceSink,
 };
 use aoci_vm::{
     Component, MethodGuardStats, MethodVersion, OptLevel, OsrRequest, RunOutcome, StackSnapshot,
-    Vm, VmError,
+    Vm, VmError, COMPONENTS,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -144,6 +145,11 @@ pub struct AosSystem<'p> {
     /// The flight recorder, when tracing is configured; clones of this sink
     /// live in the VM and the trace listener.
     trace: Option<TraceSink>,
+    /// The telemetry registry, when metrics are configured. Recording
+    /// charges no simulated cycles and reads only simulated-clock state, so
+    /// a metered run's report (minus the log itself) is bit-identical to an
+    /// unmetered one.
+    metrics: Option<MetricsSink>,
 }
 
 impl<'p> AosSystem<'p> {
@@ -197,6 +203,7 @@ impl<'p> AosSystem<'p> {
             quarantined: HashSet::new(),
             osr: OsrEvents::default(),
             trace,
+            metrics: config.metrics.clone().map(MetricsSink::new),
             config,
         }
     }
@@ -385,6 +392,71 @@ impl<'p> AosSystem<'p> {
 
         // --- Compilation thread -----------------------------------------
         self.process_compile_queue();
+
+        // --- Telemetry (epoch cadence; records nothing, charges nothing,
+        // when metrics are off) ------------------------------------------
+        let epoch = self.metrics.as_ref().map(MetricsSink::epoch_samples);
+        if epoch.is_some_and(|e| self.sample_count.is_multiple_of(e)) {
+            self.record_metrics_snapshot();
+        }
+    }
+
+    /// Freezes one telemetry time-series snapshot: samples every cumulative
+    /// counter and instantaneous gauge from authoritative AOS/VM state at
+    /// the current simulated-clock instant. No-op when metrics are off;
+    /// charges no simulated cycles when on.
+    fn record_metrics_snapshot(&self) {
+        let Some(sink) = &self.metrics else { return };
+        let counters = self.vm.counters();
+        sink.counter_set("samples", self.sample_count);
+        sink.counter_set("calls", counters.calls);
+        sink.counter_set("virtual_dispatches", counters.virtual_dispatches);
+        sink.counter_set("guard_checks", counters.guard_checks);
+        sink.counter_set("guard_misses", counters.guard_misses);
+        let osr = self.osr_events();
+        sink.counter_set("osr_requests", osr.requests);
+        sink.counter_set("osr_denied", osr.denied);
+        sink.counter_set("osr_entries", osr.entries);
+        sink.counter_set("osr_exits", osr.exits);
+        let recovery = self.recovery_events();
+        sink.counter_set("recovery_invalidations", recovery.invalidations);
+        sink.counter_set("recovery_compile_retries", recovery.compile_retries);
+        sink.counter_set("recovery_rejected_traces", recovery.rejected_traces);
+        sink.counter_set("recovery_injected_compile_faults", recovery.injected_compile_faults);
+        sink.counter_set("recovery_injected_corrupt_traces", recovery.injected_corrupt_traces);
+        sink.counter_set("recovery_dropped_samples", recovery.dropped_samples);
+        sink.counter_set("recovery_receiver_bursts", recovery.receiver_bursts);
+        let async_ev = &self.async_events;
+        sink.counter_set("async_enqueued", async_ev.enqueued);
+        sink.counter_set("async_dispatched", async_ev.dispatched);
+        sink.counter_set("async_completed", async_ev.completed);
+        sink.counter_set("async_stale_drops", async_ev.stale_drops);
+        sink.counter_set("async_queue_full_drops", async_ev.queue_full_drops);
+        sink.counter_set("async_overlap_cycles", async_ev.background_overlap_cycles);
+        sink.counter_set("async_stall_cycles", async_ev.foreground_stall_cycles);
+        let clock = self.vm.clock();
+        sink.counter_set("cycles_total", clock.total());
+        for c in COMPONENTS {
+            sink.counter_set(&format!("cycles_{}", c.slug()), clock.component(c));
+        }
+        let registry = self.vm.registry();
+        sink.gauge_set(
+            "compile_queue_depth",
+            (self.compile_queue.len() + self.pending_plans.len()) as u64,
+        );
+        sink.gauge_set(
+            "compiles_in_flight",
+            self.in_flight.iter().filter(|slot| slot.is_some()).count() as u64,
+        );
+        sink.gauge_set("code_cache_bytes", registry.current_optimized_size());
+        sink.gauge_set("code_cache_cumulative_bytes", registry.cumulative_optimized_size());
+        sink.gauge_set("code_versions", u64::from(registry.opt_compilations()));
+        sink.gauge_set("baseline_methods", u64::from(registry.baseline_compilations()));
+        sink.gauge_set("rules_active", self.rules.len() as u64);
+        sink.gauge_set("dcg_entries", self.profile.len() as u64);
+        sink.gauge_set("quarantined_methods", self.quarantined.len() as u64);
+        sink.gauge_set("retry_backlog", self.retry_after.len() as u64);
+        sink.snapshot(self.sample_count, clock.total());
     }
 
     /// Aggregates method samples; methods crossing the hotness threshold
@@ -880,6 +952,30 @@ impl<'p> AosSystem<'p> {
                 cycles: cost,
             });
         }
+        if let Some(sink) = &self.metrics {
+            sink.counter_add("compiles_installed", 1);
+            sink.counter_add("inline_decisions", compilation.decisions.len() as u64);
+            sink.counter_add("inline_decisions_guarded", compilation.guarded_count() as u64);
+            for d in &compilation.decisions {
+                // DecisionProvenance carries no rule name, so "per rule"
+                // resolves to the rule-backed / speculative split.
+                sink.counter_add(
+                    if d.provenance.rule_fired {
+                        "inline_decisions_rule_backed"
+                    } else {
+                        "inline_decisions_speculative"
+                    },
+                    1,
+                );
+                sink.observe("inline_context_depth", u64::from(d.provenance.context_depth));
+            }
+            sink.counter_add("inline_refusals", compilation.refusals.len() as u64);
+            for r in &compilation.refusals {
+                sink.counter_add(&format!("inline_refusals_{}", r.reason.slug()), 1);
+            }
+            sink.observe("compile_cost_cycles", cost);
+            sink.observe("compile_generated_size", u64::from(compilation.generated_size));
+        }
         let installed = self.vm.registry_mut().install(compilation.version);
         self.emit(TraceEvent::Install { method, version_id: installed.version_id });
         // A successful install opens a fresh guard-observation window
@@ -1180,6 +1276,9 @@ impl<'p> AosSystem<'p> {
     }
 
     fn into_report(self, result: Option<aoci_vm::Value>) -> AosReport {
+        // Close the time series with an end-of-run snapshot, so the final
+        // state is visible even when the run ended mid-epoch.
+        self.record_metrics_snapshot();
         let mut async_compile = self.async_events;
         // Compiles still on a worker when the program returned: their work
         // is abandoned — nothing is installed and no cycles are charged
@@ -1205,6 +1304,7 @@ impl<'p> AosSystem<'p> {
             osr: self.osr_events(),
             async_compile,
             trace_log: self.trace.as_ref().map(TraceSink::log),
+            telemetry: self.metrics.as_ref().map(MetricsSink::log),
         }
     }
 
@@ -1234,6 +1334,12 @@ impl<'p> AosSystem<'p> {
     /// usable mid-run between [`AosSystem::step`]s).
     pub fn trace_log(&self) -> Option<TraceLog> {
         self.trace.as_ref().map(TraceSink::log)
+    }
+
+    /// A snapshot of the telemetry registry, when metrics are configured
+    /// (also usable mid-run between [`AosSystem::step`]s).
+    pub fn metrics_log(&self) -> Option<MetricsLog> {
+        self.metrics.as_ref().map(MetricsSink::log)
     }
 
     /// OSR activity so far: driver-side request/denial counts merged with

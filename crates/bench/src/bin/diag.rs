@@ -1,34 +1,91 @@
-//! Per-method compilation diagnostics, plus the experiment-knob table.
+//! Per-method compilation diagnostics, plus the experiment-knob table,
+//! telemetry dashboards and the wall-clock bench trajectory.
 //!
 //! * `diag [workload]` — runs the workload (default `compress`) under the
 //!   baseline and `fixed/3` policies and dumps every optimizing
 //!   compilation per method.
-//! * `diag --knobs` — prints the generated table of every `AOCI_*`
+//! * `diag --knobs [--md]` — prints the generated table of every `AOCI_*`
 //!   environment variable: name, type, default, and effect. Rendered
 //!   straight from the [`aoci_bench::env`] knob registry — the same
 //!   descriptors the parser reads through — so the table cannot drift
-//!   from the implementation.
+//!   from the implementation. `--md` emits the markdown flavour that the
+//!   EXPERIMENTS.md knob table (and its CI drift check) uses.
+//! * `diag --metrics [workload]` — runs the workload with the telemetry
+//!   registry on and renders the per-policy sparkline dashboards plus the
+//!   final counter/histogram summary (DESIGN.md §14).
+//! * `diag --bench` — renders the per-PR wall-clock trajectory from the
+//!   committed `results/BENCH_*.json` entries (see the `perf` binary).
 
 use aoci_aos::{AosConfig, AosSystem};
-use aoci_bench::{render_table, EnvConfig};
+use aoci_bench::{load_trajectory, render_table, render_trajectory, EnvConfig};
 use aoci_core::PolicyKind;
+use aoci_telemetry::dashboard;
 use aoci_workloads::{build, spec_by_name};
 use std::collections::HashMap;
 
-fn print_knobs() {
+fn print_knobs(markdown: bool) {
+    if markdown {
+        print!("{}", EnvConfig::knob_markdown());
+        return;
+    }
     println!("AOCI_* experiment knobs (all parsed once, in aoci_bench::env):\n");
     let header =
         vec!["variable".to_string(), "type".to_string(), "default".to_string(), "effect".to_string()];
     println!("{}", render_table(&header, &EnvConfig::knob_rows()));
 }
 
-fn main() {
-    let arg = std::env::args().nth(1);
-    if arg.as_deref() == Some("--knobs") {
-        print_knobs();
-        return;
+/// `diag --metrics`: both policies with the registry on, dashboards and
+/// final aggregates on stdout.
+fn print_metrics(name: &str) {
+    let Some(spec) = spec_by_name(name) else {
+        eprintln!("diag: unknown workload {name:?}");
+        std::process::exit(2);
+    };
+    let w = build(&spec);
+    for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
+        let report = AosSystem::new(&w.program, AosConfig::new(policy).enable_metrics())
+            .run()
+            .expect("metered diag run");
+        let log = report.telemetry.as_ref().expect("metrics were enabled");
+        print!("{}", dashboard(&format!("{name}/{policy:?}"), log));
+        println!("  final: {} counters, {} gauges, {} histograms", log.counters.len(), log.gauges.len(), log.histograms.len());
+        for (hname, h) in &log.histograms {
+            println!(
+                "  hist {hname}: n={} mean={:.1} p50={} max={}",
+                h.count(),
+                h.mean().unwrap_or(0.0),
+                h.quantile(0.5).unwrap_or(0),
+                h.max().unwrap_or(0),
+            );
+        }
     }
-    let name = arg.unwrap_or_else(|| "compress".into());
+}
+
+/// `diag --bench`: the committed wall-clock trajectory.
+fn print_bench(env: &EnvConfig) {
+    let dir = std::path::Path::new(&env.results_dir);
+    print!("{}", render_trajectory(&load_trajectory(dir)));
+}
+
+fn main() {
+    let env = EnvConfig::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--knobs") => {
+            print_knobs(args.get(1).map(String::as_str) == Some("--md"));
+            return;
+        }
+        Some("--metrics") => {
+            print_metrics(args.get(1).map_or("compress", String::as_str));
+            return;
+        }
+        Some("--bench") => {
+            print_bench(&env);
+            return;
+        }
+        _ => {}
+    }
+    let name = args.first().cloned().unwrap_or_else(|| "compress".into());
     let w = build(&spec_by_name(&name).unwrap());
     for policy in [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }] {
         let report = AosSystem::new(&w.program, AosConfig::new(policy)).run().unwrap();

@@ -1,6 +1,7 @@
 use aoci_aos::{AosConfig, AosSystem, FaultConfig, TraceConfig};
 use aoci_bench::EnvConfig;
 use aoci_core::PolicyKind;
+use aoci_telemetry::{dashboard, to_jsonl, to_prometheus, write_text};
 use aoci_workloads::{build, suite};
 
 /// Quick end-to-end sanity run over the whole suite, executed across the
@@ -24,6 +25,14 @@ use aoci_workloads::{build, suite};
 /// additionally prints one `explain: …` line per inlining decision or
 /// refusal whose host, callee or call site matches the pattern (empty
 /// pattern matches all).
+///
+/// Set `AOCI_METRICS=1` to turn the telemetry registry on: the per-run
+/// line gains the epoch/counter/histogram counts, every run's time series
+/// is appended to the JSONL export at `AOCI_METRICS_OUT` (default
+/// `results/smoke_metrics.jsonl`; a Prometheus text dump lands next to it
+/// with a `.prom` extension), and the richest run renders as a terminal
+/// sparkline dashboard. Zero simulated-cycle overhead: all printed cycle
+/// metrics are identical with metrics on or off.
 ///
 /// Run `diag --knobs` for the full knob table.
 fn main() {
@@ -53,6 +62,9 @@ fn main() {
         if env.debug_hot {
             config = config.enable_debug_hot();
         }
+        if env.metrics {
+            config = config.enable_metrics();
+        }
         if let Some(seed) = env.faults {
             config = config.enable_faults(FaultConfig::chaos(seed));
         }
@@ -63,6 +75,10 @@ fn main() {
     // Best export candidate so far: (spans inline decisions, distinct
     // kinds) lexicographically, with the run label and rendered JSON.
     let mut best_trace: Option<((bool, usize), String, String)> = None;
+    // Metrics exports accumulate across the sweep: JSONL + Prometheus text
+    // for every run, one dashboard for the richest run (most epochs).
+    let (mut jsonl, mut prom) = (String::new(), String::new());
+    let mut best_dash: Option<(usize, String)> = None;
     for (i, jr) in results.iter().enumerate() {
         let (wi, policy) = (i / policies.len(), policies[i % policies.len()]);
         let (report, wall) = (&jr.output, jr.wall);
@@ -120,7 +136,23 @@ fn main() {
         if let Some((emitted, dropped, kinds)) = report.trace_summary() {
             print!(" | trace: emitted={emitted} dropped={dropped} kinds={kinds}");
         }
+        if let Some(log) = &report.telemetry {
+            print!(
+                " | metrics: epochs={} counters={} hists={}",
+                log.series.len(),
+                log.counters.len(),
+                log.histograms.len(),
+            );
+        }
         println!();
+        if let Some(log) = &report.telemetry {
+            let label = format!("{}/{policy:?}", w.name);
+            jsonl.push_str(&to_jsonl(&label, log));
+            prom.push_str(&to_prometheus(&label, log));
+            if best_dash.as_ref().is_none_or(|(n, _)| log.series.len() > *n) {
+                best_dash = Some((log.series.len(), dashboard(&label, log)));
+            }
+        }
         if let Some(log) = &report.trace_log {
             let resolve = |m: aoci_ir::MethodId| w.program.method(m).name().to_string();
             if let Some(pattern) = &env.explain {
@@ -137,11 +169,27 @@ fn main() {
         }
     }
     if let Some((_, label, json)) = best_trace {
-        if let Some(dir) = std::path::Path::new(&env.trace_out).parent() {
-            std::fs::create_dir_all(dir).expect("create trace output directory");
+        if let Err(e) = write_text(std::path::Path::new(&env.trace_out), &json) {
+            eprintln!("smoke: {e}");
+            std::process::exit(1);
         }
-        std::fs::write(&env.trace_out, json).expect("write Chrome trace");
         println!("trace smoke complete: Chrome trace of `{label}` written to {}", env.trace_out);
+    }
+    if let Some((_, dash)) = best_dash {
+        let jsonl_path = std::path::PathBuf::from(&env.metrics_out);
+        let prom_path = jsonl_path.with_extension("prom");
+        if let Err(e) =
+            write_text(&jsonl_path, &jsonl).and_then(|()| write_text(&prom_path, &prom))
+        {
+            eprintln!("smoke: {e}");
+            std::process::exit(1);
+        }
+        print!("{dash}");
+        println!(
+            "metrics smoke complete: JSONL time series written to {}, Prometheus dump to {}",
+            jsonl_path.display(),
+            prom_path.display(),
+        );
     }
     if env.faults.is_some() {
         println!("fault-injected smoke complete: every run degraded gracefully");

@@ -17,11 +17,9 @@
 //! trajectory (`results/BENCH_<n>.json` quotes these numbers).
 
 use aoci_aos::{AosConfig, AosReport, AosSystem};
-use aoci_bench::EnvConfig;
+use aoci_bench::{dispatch_loop_best, dispatch_loop_program, EnvConfig};
 use aoci_core::PolicyKind;
-use aoci_ir::{BinOp, Cond, Program, ProgramBuilder};
 use aoci_json::Value;
-use aoci_vm::{CostModel, Vm, VmConfig};
 use aoci_workloads::{build, suite, Workload};
 use std::time::Instant;
 
@@ -31,55 +29,6 @@ fn config(decode: bool) -> AosConfig {
     let mut c = AosConfig::new(PolicyKind::Fixed { max: 3 });
     c.vm.decode = decode;
     c
-}
-
-/// A bare interpreter-bound program: a tight const/bin/branch arithmetic
-/// loop (fusion-friendly by construction) run on a `Vm` directly with
-/// sampling off, so the measurement is *pure dispatch* — no organizers,
-/// compiles or sampling in the numerator. The suite rows below measure
-/// the full adaptive system, where dispatch is only one cost among many;
-/// this row isolates the loop the tentpole actually rewrote.
-fn dispatch_loop_program() -> Program {
-    let mut b = ProgramBuilder::new();
-    let main = {
-        let mut m = b.static_method("main", 0);
-        let i = m.fresh_reg();
-        let n = m.fresh_reg();
-        let one = m.fresh_reg();
-        let acc = m.fresh_reg();
-        let t = m.fresh_reg();
-        m.const_int(i, 0);
-        m.const_int(n, 10_000_000);
-        m.const_int(one, 1);
-        m.const_int(acc, 0);
-        let top = m.label();
-        m.bind(top);
-        m.const_int(t, 7);
-        m.bin(BinOp::Xor, acc, acc, t);
-        m.bin(BinOp::Add, acc, acc, one);
-        m.bin(BinOp::Add, i, i, one);
-        m.branch(Cond::Lt, i, n, top);
-        m.ret(Some(acc));
-        m.finish()
-    };
-    b.finish(main).expect("dispatch loop program is valid")
-}
-
-/// Best-of-`reps` wall seconds for the bare dispatch loop in one mode,
-/// plus the simulated cycle count for the cross-mode identity assert.
-fn dispatch_loop_best(program: &Program, decode: bool, reps: usize) -> (u64, f64) {
-    let mut best = f64::INFINITY;
-    let mut cycles = 0;
-    for _ in 0..reps {
-        let cost = CostModel { sample_period: 0, ..CostModel::default() };
-        let mut vm =
-            Vm::with_config(program, cost, VmConfig { decode, ..VmConfig::default() });
-        let t = Instant::now();
-        vm.run_to_completion().expect("dispatch loop runs clean");
-        best = best.min(t.elapsed().as_secs_f64());
-        cycles = vm.clock().total();
-    }
-    (cycles, best)
 }
 
 /// Runs `w` once in the given mode, returning the report and wall seconds.

@@ -1,0 +1,75 @@
+//! The bare interpreter-dispatch microbenchmark, shared by the `ubench`
+//! and `perf` binaries.
+
+use aoci_ir::{BinOp, Cond, Program, ProgramBuilder};
+use aoci_vm::{CostModel, Vm, VmConfig};
+use std::time::Instant;
+
+/// A bare interpreter-bound program: a tight const/bin/branch arithmetic
+/// loop (fusion-friendly by construction) run on a `Vm` directly with
+/// sampling off, so the measurement is *pure dispatch* — no organizers,
+/// compiles or sampling in the numerator.
+pub fn dispatch_loop_program() -> Program {
+    dispatch_loop_program_with(10_000_000)
+}
+
+/// [`dispatch_loop_program`] with an explicit iteration count (tests use a
+/// short loop; the benchmark default is 10M iterations).
+pub fn dispatch_loop_program_with(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let main = {
+        let mut m = b.static_method("main", 0);
+        let i = m.fresh_reg();
+        let n = m.fresh_reg();
+        let one = m.fresh_reg();
+        let acc = m.fresh_reg();
+        let t = m.fresh_reg();
+        m.const_int(i, 0);
+        m.const_int(n, iters);
+        m.const_int(one, 1);
+        m.const_int(acc, 0);
+        let top = m.label();
+        m.bind(top);
+        m.const_int(t, 7);
+        m.bin(BinOp::Xor, acc, acc, t);
+        m.bin(BinOp::Add, acc, acc, one);
+        m.bin(BinOp::Add, i, i, one);
+        m.branch(Cond::Lt, i, n, top);
+        m.ret(Some(acc));
+        m.finish()
+    };
+    b.finish(main).expect("dispatch loop program is valid")
+}
+
+/// Best-of-`reps` wall seconds for the bare dispatch loop in one mode,
+/// plus the simulated cycle count for cross-mode identity asserts.
+pub fn dispatch_loop_best(program: &Program, decode: bool, reps: usize) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..reps {
+        let cost = CostModel { sample_period: 0, ..CostModel::default() };
+        let mut vm =
+            Vm::with_config(program, cost, VmConfig { decode, ..VmConfig::default() });
+        let t = Instant::now();
+        vm.run_to_completion().expect("dispatch loop runs clean");
+        best = best.min(t.elapsed().as_secs_f64());
+        cycles = vm.clock().total();
+    }
+    (cycles, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_agree_on_simulated_cycles() {
+        // A short loop: the 10M-iteration default is a wall-clock bench,
+        // not a unit-test workload.
+        let p = dispatch_loop_program_with(10_000);
+        let (decoded, _) = dispatch_loop_best(&p, true, 1);
+        let (legacy, _) = dispatch_loop_best(&p, false, 1);
+        assert_eq!(decoded, legacy);
+        assert!(decoded > 0);
+    }
+}

@@ -198,6 +198,25 @@ pub const FUZZ_SEED: Knob = Knob {
              function of (seed, iters), independent of AOCI_JOBS.",
 };
 
+/// `AOCI_METRICS` — enable the telemetry registry.
+pub const METRICS: Knob = Knob {
+    name: "AOCI_METRICS",
+    ty: "flag",
+    default: "off",
+    effect: "enable the telemetry metrics registry (DESIGN.md \u{a7}14) in sweep, smoke, \
+             diag and fuzz runs; zero simulated-cycle overhead, so primary artifacts \
+             are byte-identical on/off.",
+};
+
+/// `AOCI_METRICS_OUT` — telemetry export path.
+pub const METRICS_OUT: Knob = Knob {
+    name: "AOCI_METRICS_OUT",
+    ty: "string",
+    default: "results/smoke_metrics.jsonl",
+    effect: "where smoke writes the JSONL time-series export (the Prometheus text dump \
+             lands next to it with a .prom extension); needs AOCI_METRICS=1.",
+};
+
 /// Every knob the harness understands, in documentation order. `diag
 /// --knobs` and the EXPERIMENTS.md table render from this slice.
 pub const KNOBS: &[Knob] = &[
@@ -219,6 +238,8 @@ pub const KNOBS: &[Knob] = &[
     DECODE,
     FUZZ_ITERS,
     FUZZ_SEED,
+    METRICS,
+    METRICS_OUT,
 ];
 
 /// All `AOCI_*` knobs, parsed once. Construct with [`EnvConfig::from_env`]
@@ -264,6 +285,10 @@ pub struct EnvConfig {
     pub fuzz_iters: usize,
     /// Fuzz-campaign seed ([`FUZZ_SEED`]).
     pub fuzz_seed: u64,
+    /// Telemetry metrics registry ([`METRICS`]).
+    pub metrics: bool,
+    /// Telemetry JSONL export path for smoke ([`METRICS_OUT`]).
+    pub metrics_out: String,
 }
 
 /// Raw environment read — the **only** `std::env::var` call in the
@@ -315,6 +340,8 @@ impl Default for EnvConfig {
             decode: true,
             fuzz_iters: 200,
             fuzz_seed: 1,
+            metrics: false,
+            metrics_out: "results/smoke_metrics.jsonl".to_string(),
         }
     }
 }
@@ -348,6 +375,8 @@ impl EnvConfig {
             decode: raw(&DECODE).is_none_or(|s| s.trim() != "0"),
             fuzz_iters: number(&FUZZ_ITERS)?.unwrap_or(defaults.fuzz_iters),
             fuzz_seed: number(&FUZZ_SEED)?.unwrap_or(defaults.fuzz_seed),
+            metrics: flag(&METRICS),
+            metrics_out: raw(&METRICS_OUT).unwrap_or(defaults.metrics_out),
         })
     }
 
@@ -381,6 +410,21 @@ impl EnvConfig {
             })
             .collect()
     }
+
+    /// The knob table as GitHub-flavoured markdown — the exact text between
+    /// the `knob-table` markers in EXPERIMENTS.md. `diag --knobs --md`
+    /// prints it, and the `knob_docs` test asserts the file matches, so the
+    /// documented table cannot drift from the registry ([`KNOBS`]).
+    pub fn knob_markdown() -> String {
+        let mut out = String::from("| Knob | Type | Default | Effect |\n|---|---|---|---|\n");
+        for row in Self::knob_rows() {
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} |\n",
+                row[0], row[1], row[2], row[3]
+            ));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -392,7 +436,7 @@ mod tests {
     /// `std::env::var("AOCI_` call site exists outside this module.)
     #[test]
     fn knob_registry_is_closed() {
-        assert_eq!(KNOBS.len(), 18);
+        assert_eq!(KNOBS.len(), 20);
         let mut names: Vec<&str> = KNOBS.iter().map(|k| k.name).collect();
         names.sort_unstable();
         let mut unique = names.clone();

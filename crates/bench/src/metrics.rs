@@ -125,6 +125,9 @@ pub fn run_config(env: &EnvConfig, policy: PolicyKind, rep: usize) -> AosConfig 
     if env.debug_hot {
         config = config.enable_debug_hot();
     }
+    if env.metrics {
+        config = config.enable_metrics();
+    }
     config.vm.decode = env.decode;
     config.cost.sample_period += (rep as u64) * 37;
     config
@@ -485,6 +488,32 @@ mod tests {
             aoci_json::to_string(&traced.to_value()),
             aoci_json::to_string(&untraced.to_value()),
             "recording events must not perturb any metric"
+        );
+    }
+
+    /// The telemetry mirror of `tracing_does_not_perturb_metrics`: a
+    /// metered run's report must serialize byte-identically to an
+    /// unmetered one (the telemetry log travels outside `to_value`).
+    #[test]
+    fn metering_does_not_perturb_metrics() {
+        use aoci_workloads::{build, suite};
+        let spec = suite().into_iter().next().expect("non-empty suite");
+        let w = build(&spec);
+        let policy = PolicyKind::Fixed { max: 3 };
+        let plain = AosSystem::new(&w.program, AosConfig::new(policy))
+            .run()
+            .expect("unmetered run");
+        let metered = AosSystem::new(&w.program, AosConfig::new(policy).enable_metrics())
+            .run()
+            .expect("metered run");
+        let log = metered.telemetry.as_ref().expect("metered run carries a log");
+        assert!(!log.series.is_empty(), "the metered run must record epochs");
+        assert!(plain.telemetry.is_none());
+        assert_eq!(metered.total_cycles(), plain.total_cycles());
+        assert_eq!(
+            aoci_json::to_string(&metered.to_value()),
+            aoci_json::to_string(&plain.to_value()),
+            "recording metrics must not perturb any metric"
         );
     }
 

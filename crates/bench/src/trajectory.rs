@@ -1,0 +1,247 @@
+//! The wall-clock perf trajectory: reading, comparing and rendering the
+//! per-PR `results/BENCH_<n>.json` entries (ROADMAP item 2).
+//!
+//! Schema of one entry (documented in EXPERIMENTS.md; the `perf` binary
+//! emits it, `diag --bench` renders the curve):
+//!
+//! ```json
+//! {
+//!   "pr": 8, "date": "YYYY-MM-DD", "toolchain": "...", "host": "...",
+//!   "note": "...",
+//!   "benches": {
+//!     "<name>": {"command": "...", "wall_seconds": 1.23, "detail": "..."}
+//!   }
+//! }
+//! ```
+//!
+//! All numbers here are **wall-clock** — the segregated side of the
+//! telemetry split. Nothing in this module feeds a deterministic artifact.
+
+use aoci_json::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One measured benchmark inside a [`BenchEntry`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// The command line that produced the number.
+    pub command: String,
+    /// Measured wall seconds (minimum over repetitions).
+    pub wall_seconds: f64,
+    /// Free-form context (what changed, noise bounds, comparisons).
+    pub detail: String,
+}
+
+/// One `results/BENCH_<n>.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// PR number — the x-axis of the trajectory.
+    pub pr: u64,
+    /// ISO date the entry was measured.
+    pub date: String,
+    /// Toolchain description.
+    pub toolchain: String,
+    /// Host description (and its noise caveats).
+    pub host: String,
+    /// What this PR changed, perf-wise.
+    pub note: String,
+    /// Named benchmark results (BTreeMap: deterministic render order).
+    pub benches: BTreeMap<String, BenchResult>,
+}
+
+impl BenchEntry {
+    /// Serializes to the documented `aoci-json` schema.
+    pub fn to_value(&self) -> Value {
+        Value::obj([
+            ("pr".to_string(), Value::from(self.pr)),
+            ("date".to_string(), Value::from(self.date.as_str())),
+            ("toolchain".to_string(), Value::from(self.toolchain.as_str())),
+            ("host".to_string(), Value::from(self.host.as_str())),
+            ("note".to_string(), Value::from(self.note.as_str())),
+            (
+                "benches".to_string(),
+                Value::Obj(
+                    self.benches
+                        .iter()
+                        .map(|(name, b)| {
+                            (
+                                name.clone(),
+                                Value::obj([
+                                    ("command".to_string(), Value::from(b.command.as_str())),
+                                    ("wall_seconds".to_string(), Value::from(b.wall_seconds)),
+                                    ("detail".to_string(), Value::from(b.detail.as_str())),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`BenchEntry::to_value`]; `None` on shape mismatch.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        let s = |key: &str| Some(v.get(key)?.as_str()?.to_string());
+        Some(BenchEntry {
+            pr: v.get("pr")?.as_u64()?,
+            date: s("date")?,
+            toolchain: s("toolchain")?,
+            host: s("host")?,
+            note: s("note")?,
+            benches: v
+                .get("benches")?
+                .as_obj()?
+                .iter()
+                .map(|(name, b)| {
+                    Some((
+                        name.clone(),
+                        BenchResult {
+                            command: b.get("command")?.as_str()?.to_string(),
+                            wall_seconds: b.get("wall_seconds")?.as_f64()?,
+                            detail: b.get("detail")?.as_str()?.to_string(),
+                        },
+                    ))
+                })
+                .collect::<Option<BTreeMap<_, _>>>()?,
+        })
+    }
+
+    /// The wall seconds of bench `name`, if this entry measured it.
+    pub fn wall_seconds(&self, name: &str) -> Option<f64> {
+        self.benches.get(name).map(|b| b.wall_seconds)
+    }
+}
+
+/// Loads every `BENCH_<n>.json` under `dir`, sorted by PR number. Files
+/// that fail to parse are skipped with a note on stderr (a malformed
+/// historical entry should not brick the trajectory).
+pub fn load_trajectory(dir: &Path) -> Vec<BenchEntry> {
+    let Ok(read) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut entries = Vec::new();
+    for file in read.flatten() {
+        let name = file.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(file.path()) else { continue };
+        match aoci_json::parse(&text).ok().as_ref().and_then(BenchEntry::from_value) {
+            Some(entry) => entries.push(entry),
+            None => eprintln!("trajectory: skipping malformed {name}"),
+        }
+    }
+    entries.sort_by_key(|e| e.pr);
+    entries
+}
+
+/// Renders the trajectory as a table: one row per bench name, one column
+/// per PR, with the run-over-run ratio of the latest step. Empty cells
+/// mean the PR did not measure that bench.
+pub fn render_trajectory(entries: &[BenchEntry]) -> String {
+    if entries.is_empty() {
+        return "no BENCH_*.json entries found\n".to_string();
+    }
+    let mut names: Vec<&str> = entries
+        .iter()
+        .flat_map(|e| e.benches.keys().map(String::as_str))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut header = vec!["bench (wall s)".to_string()];
+    header.extend(entries.iter().map(|e| format!("PR{}", e.pr)));
+    header.push("latest Δ".to_string());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for name in names {
+        let mut row = vec![name.to_string()];
+        for e in entries {
+            row.push(e.wall_seconds(name).map_or(String::new(), |s| format!("{s:.2}")));
+        }
+        let measured: Vec<f64> = entries.iter().filter_map(|e| e.wall_seconds(name)).collect();
+        row.push(match measured.as_slice() {
+            [.., prev, last] => format!("{:+.1}%", (last / prev - 1.0) * 100.0),
+            _ => String::new(),
+        });
+        rows.push(row);
+    }
+    crate::table::render_table(&header, &rows)
+}
+
+/// Advisory regression gate: compares `candidate` against the latest prior
+/// entry (highest `pr` below the candidate's) on `bench`. Returns
+/// `Some((prior_pr, prior_secs, ratio))` when both measured the bench;
+/// ratio > 1 means the candidate is slower.
+pub fn compare_latest(
+    entries: &[BenchEntry],
+    candidate: &BenchEntry,
+    bench: &str,
+) -> Option<(u64, f64, f64)> {
+    let prior = entries
+        .iter()
+        .filter(|e| e.pr < candidate.pr && e.wall_seconds(bench).is_some())
+        .max_by_key(|e| e.pr)?;
+    let prior_secs = prior.wall_seconds(bench)?;
+    let candidate_secs = candidate.wall_seconds(bench)?;
+    Some((prior.pr, prior_secs, candidate_secs / prior_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(pr: u64, smoke: f64) -> BenchEntry {
+        BenchEntry {
+            pr,
+            date: "2026-08-09".to_string(),
+            toolchain: "rustc stable".to_string(),
+            host: "test".to_string(),
+            note: "n".to_string(),
+            benches: BTreeMap::from([(
+                "smoke_full_suite".to_string(),
+                BenchResult {
+                    command: "smoke".to_string(),
+                    wall_seconds: smoke,
+                    detail: "d".to_string(),
+                },
+            )]),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let e = entry(8, 6.0);
+        let text = aoci_json::to_string_pretty(&e.to_value());
+        let parsed = aoci_json::parse(&text).expect("entry parses");
+        assert_eq!(BenchEntry::from_value(&parsed), Some(e));
+    }
+
+    #[test]
+    fn parses_the_committed_trajectory() {
+        // The real artifacts this module exists for: the committed
+        // results/BENCH_*.json files must parse and stay PR-sorted.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        let entries = load_trajectory(&dir);
+        assert!(entries.len() >= 2, "expected the committed BENCH files");
+        assert!(entries.windows(2).all(|w| w[0].pr < w[1].pr));
+        assert!(entries.iter().all(|e| e.wall_seconds("smoke_full_suite").is_some()));
+    }
+
+    #[test]
+    fn compare_picks_the_latest_prior_entry() {
+        let entries = vec![entry(6, 11.48), entry(7, 5.98)];
+        let candidate = entry(8, 6.1);
+        let (pr, prior, ratio) =
+            compare_latest(&entries, &candidate, "smoke_full_suite").expect("comparable");
+        assert_eq!(pr, 7);
+        assert!((prior - 5.98).abs() < 1e-9);
+        assert!(ratio > 1.0 && ratio < 1.15);
+        assert_eq!(compare_latest(&[], &candidate, "smoke_full_suite"), None);
+    }
+
+    #[test]
+    fn trajectory_table_has_a_column_per_pr() {
+        let table = render_trajectory(&[entry(6, 11.48), entry(7, 5.98)]);
+        assert!(table.contains("PR6"));
+        assert!(table.contains("PR7"));
+        assert!(table.contains("smoke_full_suite"));
+        assert!(table.contains("-47.9%"), "latest delta column: {table}");
+    }
+}

@@ -1,6 +1,7 @@
 use aoci_bench::env::EnvConfig;
 use aoci_fuzz::persist::{corpus_to_value, Regression};
 use aoci_fuzz::{run_campaign, CampaignConfig};
+use aoci_telemetry::write_text;
 use std::path::Path;
 
 /// Runs a coverage-guided differential fuzzing campaign (DESIGN.md §12).
@@ -11,10 +12,14 @@ use std::path::Path;
 /// `AOCI_JOBS` pool. Writes `{results_dir}/fuzz/corpus.json` (the
 /// coverage fingerprint artifact CI compares against the committed copy)
 /// and one `regress-{name}.json` per minimized finding. Exits 1 if any
-/// case produced a finding.
+/// case produced a finding. `AOCI_METRICS=1` turns the telemetry registry
+/// on in every matrix cell; the corpus must stay byte-identical (the
+/// registry charges zero simulated cycles), which CI asserts by diffing
+/// the artifact across both settings.
 fn main() {
     let env = EnvConfig::from_env();
-    let cfg = CampaignConfig { seed: env.fuzz_seed, iters: env.fuzz_iters };
+    let cfg =
+        CampaignConfig { seed: env.fuzz_seed, iters: env.fuzz_iters, metrics: env.metrics };
     let pool = env.pool();
     eprintln!(
         "fuzz: campaign seed={} iters={} workers={}",
@@ -28,12 +33,13 @@ fn main() {
     let wall = started.elapsed();
 
     let dir = Path::new(&env.results_dir).join("fuzz");
-    std::fs::create_dir_all(&dir).expect("create fuzz results directory");
 
     let corpus_path = dir.join("corpus.json");
     let corpus = corpus_to_value(out.seed, cfg.iters, &out.corpus, &out.features);
-    std::fs::write(&corpus_path, aoci_json::to_string_pretty(&corpus))
-        .expect("write corpus.json");
+    if let Err(e) = write_text(&corpus_path, &aoci_json::to_string_pretty(&corpus)) {
+        eprintln!("fuzz: {e}");
+        std::process::exit(1);
+    }
 
     for f in &out.findings {
         let reg = Regression {
@@ -43,8 +49,10 @@ fn main() {
             status: "open".to_string(),
         };
         let path = dir.join(format!("regress-{}.json", f.spec.name));
-        std::fs::write(&path, aoci_json::to_string_pretty(&reg.to_value()))
-            .expect("write regression file");
+        if let Err(e) = write_text(&path, &aoci_json::to_string_pretty(&reg.to_value())) {
+            eprintln!("fuzz: {e}");
+            std::process::exit(1);
+        }
         eprintln!("fuzz: NEW FINDING [{}] case {} -> {}", f.kind, f.index, path.display());
         eprintln!("fuzz:   {}", f.detail);
     }

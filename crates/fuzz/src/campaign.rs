@@ -10,7 +10,7 @@
 //! findings list — is therefore byte-identical for any `AOCI_JOBS`.
 
 use crate::minimize::minimize;
-use crate::oracle::{run_case_caught, CaseOutcome};
+use crate::oracle::{run_case_caught, run_case_caught_with, CaseOutcome};
 use crate::persist::CorpusEntry;
 use crate::sampler::sample_spec;
 use aoci_core::JobPool;
@@ -25,6 +25,12 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Number of generated programs.
     pub iters: usize,
+    /// Run every matrix cell with the telemetry registry on
+    /// (`AOCI_METRICS=1`). Must not change any campaign artifact — the
+    /// registry charges zero simulated cycles, so corpus, features and
+    /// findings stay byte-identical either way (`tests/tests/telemetry.rs`
+    /// holds this at campaign scale).
+    pub metrics: bool,
 }
 
 /// One finding after minimization: the original case, the smallest spec
@@ -80,7 +86,8 @@ fn finds_kind(spec: &FuzzSpec, kind: &str) -> Option<(String, String)> {
 /// the — normally empty — failing subset only).
 pub fn run_campaign(cfg: &CampaignConfig, pool: &JobPool) -> CampaignOutcome {
     let jobs: Vec<usize> = (0..cfg.iters).collect();
-    let (results, _stats) = pool.run(jobs, |&i| run_case_caught(&sample_spec(cfg.seed, i)));
+    let (results, _stats) =
+        pool.run(jobs, |&i| run_case_caught_with(&sample_spec(cfg.seed, i), cfg.metrics));
     let cases: Vec<CaseOutcome> = results.into_iter().map(|r| r.output).collect();
 
     let mut features: BTreeSet<String> = BTreeSet::new();
@@ -117,7 +124,7 @@ mod tests {
     use crate::persist::corpus_to_value;
 
     fn tiny(seed: u64, iters: usize, workers: usize) -> CampaignOutcome {
-        run_campaign(&CampaignConfig { seed, iters }, &JobPool::new(workers))
+        run_campaign(&CampaignConfig { seed, iters, metrics: false }, &JobPool::new(workers))
     }
 
     #[test]

@@ -87,6 +87,7 @@ fn config(
     fault: Option<FaultConfig>,
     traced: bool,
     decode: bool,
+    metrics: bool,
 ) -> AosConfig {
     let mut c = AosConfig::new(policy).enable_guard_monitoring();
     if osr {
@@ -94,6 +95,9 @@ fn config(
     }
     if async_on {
         c = c.enable_async_compile();
+    }
+    if metrics {
+        c = c.enable_metrics();
     }
     if let Some(f) = fault {
         c = c.enable_faults(f);
@@ -187,6 +191,16 @@ pub fn run_case(spec: &FuzzSpec) -> CaseOutcome {
 /// outcomes and fingerprints — the decoded interpreter must be invisible
 /// to every observable the campaign checks.
 pub fn run_case_with_decode(spec: &FuzzSpec, decode: bool) -> CaseOutcome {
+    run_case_with(spec, decode, false)
+}
+
+/// [`run_case_with_decode`] with the telemetry registry optionally on in
+/// every matrix cell. Since the oracle compares runs field-by-field and
+/// the registry charges zero simulated cycles, `metrics: true` must
+/// produce the exact same outcome (fingerprint *and* findings) as
+/// `metrics: false` — the campaign-scale form of the PR-3 invariant,
+/// asserted by `tests/tests/telemetry.rs`.
+pub fn run_case_with(spec: &FuzzSpec, decode: bool, metrics: bool) -> CaseOutcome {
     let mut out =
         CaseOutcome { spec: spec.clone(), fingerprint: BTreeSet::new(), findings: Vec::new() };
 
@@ -223,12 +237,12 @@ pub fn run_case_with_decode(spec: &FuzzSpec, decode: bool) -> CaseOutcome {
         );
         let traced = AosSystem::new(
             &program,
-            config(policy, osr, async_on, fault.clone(), true, decode),
+            config(policy, osr, async_on, fault.clone(), true, decode, metrics),
         )
         .run();
         let untraced = AosSystem::new(
             &program,
-            config(policy, osr, async_on, fault.clone(), false, decode),
+            config(policy, osr, async_on, fault.clone(), false, decode, metrics),
         )
         .run();
         let (a, b) = match (traced, untraced) {
@@ -273,7 +287,13 @@ pub fn run_case_with_decode(spec: &FuzzSpec, decode: bool) -> CaseOutcome {
 /// under test becomes a `panic` finding instead of killing the campaign
 /// (or poisoning the job pool's result lock).
 pub fn run_case_caught(spec: &FuzzSpec) -> CaseOutcome {
-    match catch_unwind(AssertUnwindSafe(|| run_case(spec))) {
+    run_case_caught_with(spec, false)
+}
+
+/// [`run_case_caught`] with the telemetry registry optionally on (see
+/// [`run_case_with`]).
+pub fn run_case_caught_with(spec: &FuzzSpec, metrics: bool) -> CaseOutcome {
+    match catch_unwind(AssertUnwindSafe(|| run_case_with(spec, true, metrics))) {
         Ok(outcome) => outcome,
         Err(payload) => {
             let msg = payload
@@ -318,6 +338,18 @@ mod tests {
             "chaos cells must contribute fault coverage: {:?}",
             out.fingerprint
         );
+    }
+
+    #[test]
+    fn metering_does_not_change_a_case() {
+        // The campaign-scale PR-3 invariant in miniature: the registry
+        // charges no simulated cycles, so the full differential matrix
+        // is blind to it.
+        let spec = sample_spec(1, 0);
+        let plain = run_case_with(&spec, true, false);
+        let metered = run_case_with(&spec, true, true);
+        assert_eq!(plain.findings, metered.findings);
+        assert_eq!(plain.fingerprint, metered.fingerprint);
     }
 
     #[test]

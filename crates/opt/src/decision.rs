@@ -25,6 +25,21 @@ pub enum RefusalReason {
     GuardLimit,
 }
 
+impl RefusalReason {
+    /// A stable `snake_case` identifier for metric names
+    /// (`inline_refusals_<slug>` in the telemetry registry).
+    pub fn slug(self) -> &'static str {
+        match self {
+            RefusalReason::TooLarge => "too_large",
+            RefusalReason::DepthExceeded => "depth_exceeded",
+            RefusalReason::ExpansionExceeded => "expansion_exceeded",
+            RefusalReason::Recursive => "recursive",
+            RefusalReason::NotHot => "not_hot",
+            RefusalReason::GuardLimit => "guard_limit",
+        }
+    }
+}
+
 impl fmt::Display for RefusalReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -1,0 +1,290 @@
+//! `perf` — the wall-clock benchmark runner and trajectory gate.
+//!
+//! Measures the three standing benchmarks in-process (same work as the
+//! standalone binaries, without process startup or stdout in the way):
+//!
+//! * `smoke_full_suite` — the full workload suite × both headline
+//!   policies over the `AOCI_JOBS` pool (what `target/release/smoke`
+//!   runs);
+//! * `fuzz_campaign_200_serial` — a 200-case differential fuzzing
+//!   campaign on one worker (what `AOCI_FUZZ_ITERS=200 AOCI_FUZZ_SEED=1
+//!   AOCI_JOBS=1 target/release/fuzz` runs);
+//! * `ubench_dispatch_loop` — the bare pre-decoded interpreter on the
+//!   10M-iteration dispatch loop, sampling off.
+//!
+//! Each is the minimum over `--reps` repetitions (default 3). The result
+//! is written as `{results_dir}/BENCH_<pr>.json` in the schema documented
+//! in EXPERIMENTS.md, with the PR number defaulting to one past the
+//! highest committed entry; the per-phase wall-clock breakdown from the
+//! telemetry [`PhaseProfiler`] rides along as a `wall_phases` field.
+//! Everything here is **wall-clock** — the segregated side of the
+//! telemetry split (DESIGN.md §14); no deterministic artifact is touched.
+//!
+//! After measuring, prints the full per-PR trajectory table and compares
+//! `smoke_full_suite` against the latest prior entry. A regression beyond
+//! `--threshold` percent (default 15) is reported; with `--gate` it also
+//! exits 3, which CI runs as an advisory (continue-on-error) job.
+//!
+//! Flags: `--quick` (1 rep, 25 fuzz cases — CI-sized), `--pr <n>`,
+//! `--reps <n>`, `--threshold <pct>`, `--note <text>`, `--gate`.
+
+use aoci_aos::{AosConfig, AosSystem};
+use aoci_bench::{
+    compare_latest, dispatch_loop_best, dispatch_loop_program, load_trajectory,
+    render_trajectory, BenchEntry, BenchResult, EnvConfig,
+};
+use aoci_core::PolicyKind;
+use aoci_fuzz::{run_campaign, CampaignConfig};
+use aoci_json::Value;
+use aoci_telemetry::{write_text, PhaseProfiler};
+use aoci_workloads::{build, suite};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+/// Parsed command line (see the module docs for flag semantics).
+struct Args {
+    quick: bool,
+    gate: bool,
+    pr: Option<u64>,
+    reps: Option<usize>,
+    threshold_pct: f64,
+    note: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args =
+        Args { quick: false, gate: false, pr: None, reps: None, threshold_pct: 15.0, note: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("perf: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--gate" => args.gate = true,
+            "--pr" => {
+                args.pr = Some(value("--pr").parse().unwrap_or_else(|e| {
+                    eprintln!("perf: bad --pr: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--reps" => {
+                args.reps = Some(value("--reps").parse().unwrap_or_else(|e| {
+                    eprintln!("perf: bad --reps: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--threshold" => {
+                args.threshold_pct = value("--threshold").parse().unwrap_or_else(|e| {
+                    eprintln!("perf: bad --threshold: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--note" => args.note = Some(value("--note")),
+            other => {
+                eprintln!("perf: unknown flag {other:?} (see the module docs)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the civil-from-days algorithm
+/// (no date crate in the offline build environment).
+fn today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn toolchain() -> String {
+    let version = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "rustc (version unavailable)".to_string());
+    format!("{version}, cargo build --release")
+}
+
+/// One smoke sweep: the full suite × both headline policies over the
+/// `AOCI_JOBS` pool, default config (exactly the `smoke` binary's matrix).
+fn smoke_once(env: &EnvConfig) -> f64 {
+    let workloads: Vec<_> = suite().iter().map(build).collect();
+    let policies = [PolicyKind::ContextInsensitive, PolicyKind::Fixed { max: 3 }];
+    let jobs: Vec<(usize, PolicyKind)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| policies.iter().map(move |&p| (wi, p)))
+        .collect();
+    let t = Instant::now();
+    let (results, _stats) = env.pool().run(jobs, |&(wi, policy)| {
+        AosSystem::new(&workloads[wi].program, AosConfig::new(policy))
+            .run()
+            .expect("smoke run completes")
+    });
+    assert!(!results.is_empty());
+    t.elapsed().as_secs_f64()
+}
+
+/// One serial fuzzing campaign (panics on findings: a perf run must not
+/// silently bless a correctness regression).
+fn fuzz_once(iters: usize) -> f64 {
+    let t = Instant::now();
+    let out = run_campaign(
+        &CampaignConfig { seed: 1, iters, metrics: false },
+        &aoci_core::JobPool::new(1),
+    );
+    assert!(out.clean(), "fuzz campaign found violations: {:?}", out.findings);
+    t.elapsed().as_secs_f64()
+}
+
+fn min_over(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args = parse_args();
+    let env = EnvConfig::from_env();
+    let quick = args.quick || env.quick;
+    let reps = args.reps.unwrap_or(if quick { 1 } else { 3 });
+    let fuzz_iters = if quick { 25 } else { 200 };
+
+    let results_dir = Path::new(&env.results_dir);
+    let prior = load_trajectory(results_dir);
+    let pr = args.pr.unwrap_or_else(|| prior.last().map_or(1, |e| e.pr + 1));
+
+    eprintln!(
+        "perf: measuring PR{pr} ({} mode, {reps} rep(s), {fuzz_iters} fuzz cases)",
+        if quick { "quick" } else { "full" }
+    );
+    let profiler = PhaseProfiler::new();
+
+    let smoke = {
+        let _g = profiler.enter("smoke_full_suite");
+        min_over(reps, || smoke_once(&env))
+    };
+    eprintln!("perf: smoke_full_suite         min {smoke:.3}s");
+    let fuzz = {
+        let _g = profiler.enter("fuzz_campaign_serial");
+        min_over(reps, || fuzz_once(fuzz_iters))
+    };
+    eprintln!("perf: fuzz_campaign ({fuzz_iters} cases) min {fuzz:.3}s");
+    let (dispatch_cycles, dispatch) = {
+        let _g = profiler.enter("ubench_dispatch_loop");
+        let program = dispatch_loop_program();
+        dispatch_loop_best(&program, true, reps)
+    };
+    eprintln!("perf: ubench_dispatch_loop     min {dispatch:.3}s ({dispatch_cycles} cycles)");
+
+    let fuzz_name =
+        if quick { format!("fuzz_campaign_{fuzz_iters}_serial") } else { "fuzz_campaign_200_serial".to_string() };
+    let benches = BTreeMap::from([
+        (
+            "smoke_full_suite".to_string(),
+            BenchResult {
+                command: "target/release/perf (in-process suite x {cins, fixed/3} over the AOCI_JOBS pool)".to_string(),
+                wall_seconds: round3(smoke),
+                detail: format!("min of {reps}; same matrix as target/release/smoke, default config"),
+            },
+        ),
+        (
+            fuzz_name,
+            BenchResult {
+                command: format!(
+                    "target/release/perf (in-process campaign, AOCI_FUZZ_ITERS={fuzz_iters} AOCI_FUZZ_SEED=1, 1 worker)"
+                ),
+                wall_seconds: round3(fuzz),
+                detail: format!("min of {reps}; campaign clean (asserted)"),
+            },
+        ),
+        (
+            "ubench_dispatch_loop".to_string(),
+            BenchResult {
+                command: format!("target/release/perf (bare decoded Vm, 10M-iteration loop, best of {reps})"),
+                wall_seconds: round3(dispatch),
+                detail: format!("sampling off; {dispatch_cycles} simulated cycles, bit-identical across dispatch modes"),
+            },
+        ),
+    ]);
+
+    let entry = BenchEntry {
+        pr,
+        date: today(),
+        toolchain: toolchain(),
+        host: prior
+            .last()
+            .map_or_else(|| "unknown host".to_string(), |e| e.host.clone()),
+        note: args.note.unwrap_or_else(|| {
+            "measured by target/release/perf (telemetry PR, ISSUE 8): in-process reruns of the standing benches; metrics registry off during measurement".to_string()
+        }),
+        benches,
+    };
+
+    // Embed the profiler's wall-clock phase breakdown next to the benches.
+    // `BenchEntry::from_value` ignores unknown keys, so the trajectory
+    // loader is indifferent to it.
+    let mut doc = entry.to_value();
+    if let Value::Obj(map) = &mut doc {
+        map.insert("wall_phases".to_string(), profiler.to_value());
+    }
+    let out_path = results_dir.join(format!("BENCH_{pr}.json"));
+    if let Err(e) = write_text(&out_path, &format!("{}\n", aoci_json::to_string_pretty(&doc))) {
+        eprintln!("perf: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("perf: wrote {}", out_path.display());
+    eprint!("{}", profiler.render());
+
+    // The trajectory including the fresh entry, then the advisory gate.
+    let mut all = prior;
+    all.retain(|e| e.pr != pr);
+    all.push(entry.clone());
+    all.sort_by_key(|e| e.pr);
+    print!("{}", render_trajectory(&all));
+
+    match compare_latest(&all, &entry, "smoke_full_suite") {
+        None => println!("gate: no prior smoke_full_suite entry to compare against"),
+        Some((prior_pr, prior_secs, ratio)) => {
+            let limit = 1.0 + args.threshold_pct / 100.0;
+            println!(
+                "gate: smoke_full_suite {:.3}s vs PR{prior_pr} {prior_secs:.3}s = {ratio:.3}x (limit {limit:.2}x)",
+                entry.wall_seconds("smoke_full_suite").unwrap_or(f64::NAN),
+            );
+            if ratio > limit {
+                println!(
+                    "gate: REGRESSION beyond {:.0}% — investigate before merging",
+                    args.threshold_pct
+                );
+                if args.gate {
+                    std::process::exit(3);
+                }
+            } else {
+                println!("gate: within budget");
+            }
+        }
+    }
+}
+
+/// Milli-second precision: enough for wall-clock numbers, and exact in
+/// both f64 and the JSON round-trip.
+fn round3(secs: f64) -> f64 {
+    (secs * 1000.0).round() / 1000.0
+}

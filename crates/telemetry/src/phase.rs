@@ -1,0 +1,217 @@
+//! Wall-clock phase profiling for the harness binaries.
+//!
+//! [`PhaseProfiler`] hands out scoped RAII [`PhaseGuard`]s; dropping a
+//! guard attributes its elapsed real time to a named phase, and nested
+//! guards build `parent/child` paths so the report is hierarchical.
+//!
+//! This is the **wall-clock side** of the telemetry split: nothing here
+//! may feed a deterministic artifact. Phase timings go to stderr reports
+//! and the `wall_phases` block of `results/BENCH_*.json` — files that are
+//! wall-clock by definition — never into `grid.json`, metrics snapshots,
+//! or the fuzz corpus.
+
+use aoci_json::Value;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Accumulated `(path, seconds, entries)` rows in first-entry order.
+    rows: Vec<(String, f64, u64)>,
+    /// Stack of currently-open phase names (builds the path prefix).
+    open: Vec<String>,
+}
+
+impl Inner {
+    fn charge(&mut self, path: &str, seconds: f64) {
+        if let Some(row) = self.rows.iter_mut().find(|(p, _, _)| p == path) {
+            row.1 += seconds;
+            row.2 += 1;
+        } else {
+            self.rows.push((path.to_string(), seconds, 1));
+        }
+    }
+}
+
+/// Accumulates wall-clock time per named (possibly nested) phase.
+/// Cheap to clone; clones share the same accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseProfiler {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl PhaseProfiler {
+    /// A fresh profiler with no recorded phases.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens phase `name`; time until the returned guard drops is charged
+    /// to it. Guards opened while this one is alive become its children
+    /// (`parent/child` paths).
+    pub fn enter(&self, name: &str) -> PhaseGuard {
+        self.inner.borrow_mut().open.push(name.to_string());
+        PhaseGuard { profiler: self.clone(), started: Instant::now(), closed: false }
+    }
+
+    /// Times `f` under phase `name`.
+    pub fn scope<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _guard = self.enter(name);
+        f()
+    }
+
+    /// The recorded `(path, seconds, entries)` rows, in first-entry order.
+    pub fn rows(&self) -> Vec<(String, f64, u64)> {
+        self.inner.borrow().rows.clone()
+    }
+
+    /// Total seconds across top-level (un-nested) phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.inner
+            .borrow()
+            .rows
+            .iter()
+            .filter(|(p, _, _)| !p.contains('/'))
+            .map(|(_, s, _)| s)
+            .sum()
+    }
+
+    /// A plain-text attribution report: one indented line per phase with
+    /// seconds, share of its top-level total, and entry count.
+    pub fn render(&self) -> String {
+        let rows = self.rows();
+        let total = self.total_seconds().max(f64::EPSILON);
+        let mut out = String::from("wall-clock phases\n");
+        if rows.is_empty() {
+            out.push_str("  (none recorded)\n");
+            return out;
+        }
+        let width = rows.iter().map(|(p, _, _)| p.len()).max().unwrap_or(0);
+        for (path, seconds, entries) in &rows {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let indent = "  ".repeat(depth + 1);
+            let pad = width.saturating_sub(name.len() + depth * 2);
+            out.push_str(&format!(
+                "{indent}{name}{:pad$}  {seconds:9.3}s  {:5.1}%  x{entries}\n",
+                "",
+                100.0 * seconds / total,
+            ));
+        }
+        out
+    }
+
+    /// Serializes the rows to an `aoci-json` array (the `wall_phases`
+    /// block of `BENCH_*.json`).
+    pub fn to_value(&self) -> Value {
+        Value::Arr(
+            self.rows()
+                .into_iter()
+                .map(|(path, seconds, entries)| {
+                    Value::obj([
+                        ("phase".to_string(), Value::from(path)),
+                        // Microsecond-rounded so the JSON stays readable.
+                        (
+                            "wall_seconds".to_string(),
+                            Value::from((seconds * 1e6).round() / 1e6),
+                        ),
+                        ("entries".to_string(), Value::from(entries)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+/// RAII guard for one phase entry; records elapsed time on drop.
+#[derive(Debug)]
+pub struct PhaseGuard {
+    profiler: PhaseProfiler,
+    started: Instant,
+    closed: bool,
+}
+
+impl PhaseGuard {
+    /// Ends the phase now (identical to dropping the guard).
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let seconds = self.started.elapsed().as_secs_f64();
+        let mut inner = self.profiler.inner.borrow_mut();
+        let path = inner.open.join("/");
+        inner.open.pop();
+        inner.charge(&path, seconds);
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_guards_build_hierarchical_paths() {
+        let prof = PhaseProfiler::new();
+        {
+            let _outer = prof.enter("smoke");
+            prof.scope("decode", || ());
+            prof.scope("decode", || ());
+            prof.scope("sweep", || ());
+        }
+        let paths: Vec<(String, u64)> =
+            prof.rows().into_iter().map(|(p, _, n)| (p, n)).collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("smoke/decode".to_string(), 2),
+                ("smoke/sweep".to_string(), 1),
+                ("smoke".to_string(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn totals_count_only_top_level_phases() {
+        let prof = PhaseProfiler::new();
+        prof.scope("a", || prof.scope("inner", || ()));
+        prof.scope("b", || ());
+        let top: Vec<String> = prof
+            .rows()
+            .into_iter()
+            .map(|(p, _, _)| p)
+            .filter(|p| !p.contains('/'))
+            .collect();
+        assert_eq!(top, vec!["a".to_string(), "b".to_string()]);
+        assert!(prof.total_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn render_and_value_cover_every_row() {
+        let prof = PhaseProfiler::new();
+        prof.scope("fuzz", || prof.scope("oracle", || ()));
+        let text = prof.render();
+        assert!(text.contains("fuzz"));
+        assert!(text.contains("oracle"));
+        let v = prof.to_value();
+        assert_eq!(v.as_arr().map(<[Value]>::len), Some(2));
+        assert!(aoci_json::to_string(&v).contains("fuzz/oracle"));
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value() {
+        let prof = PhaseProfiler::new();
+        assert_eq!(prof.scope("calc", || 41 + 1), 42);
+    }
+}

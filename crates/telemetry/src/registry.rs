@@ -1,0 +1,382 @@
+//! The metrics registry, its shared sink handle, and the owned
+//! end-of-run snapshot ([`MetricsLog`]).
+//!
+//! Mirrors the flight-recorder split (`TraceSink` / `TraceLog`): the
+//! registry lives behind an `Rc<RefCell<…>>` [`MetricsSink`] shared by the
+//! single-threaded run that feeds it, and the report carries an owned,
+//! plain-data [`MetricsLog`] — `Send`, so parallel sweep pools can move it
+//! across workers. Recording charges **no simulated cycles** and reads no
+//! wall clock; every container is a `BTreeMap`, so serialization order is
+//! deterministic.
+
+use crate::histogram::Histogram;
+use aoci_json::Value;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Telemetry tunables.
+#[derive(Clone, Debug)]
+pub struct MetricsConfig {
+    /// Epoch length in timer samples: a time-series snapshot of every
+    /// counter and gauge is taken each time the sample count crosses a
+    /// multiple of this. The default matches the hot-methods organizer
+    /// cadence, so each snapshot brackets one organizer/controller round.
+    pub epoch_samples: u64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig { epoch_samples: 8 }
+    }
+}
+
+/// One per-epoch time-series snapshot: every counter and gauge, frozen at
+/// a simulated-clock instant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EpochSnapshot {
+    /// 0-based snapshot index.
+    pub epoch: u64,
+    /// Timer samples taken when the snapshot fired.
+    pub sample_tick: u64,
+    /// Simulated cycles when the snapshot fired.
+    pub cycle: u64,
+    /// Cumulative counters at the instant.
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous gauges at the instant.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl EpochSnapshot {
+    /// Serializes to a (flat) `aoci-json` object.
+    pub fn to_value(&self) -> Value {
+        Value::obj([
+            ("epoch".to_string(), Value::from(self.epoch)),
+            ("sample_tick".to_string(), Value::from(self.sample_tick)),
+            ("cycle".to_string(), Value::from(self.cycle)),
+            (
+                "counters".to_string(),
+                Value::Obj(self.counters.iter().map(|(k, &v)| (k.clone(), Value::from(v))).collect()),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Value::from(v))).collect()),
+            ),
+        ])
+    }
+
+    /// Inverse of [`EpochSnapshot::to_value`]; `None` on shape mismatch.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        let map = |key: &str| -> Option<BTreeMap<String, u64>> {
+            v.get(key)?
+                .as_obj()?
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .collect()
+        };
+        Some(EpochSnapshot {
+            epoch: v.get("epoch")?.as_u64()?,
+            sample_tick: v.get("sample_tick")?.as_u64()?,
+            cycle: v.get("cycle")?.as_u64()?,
+            counters: map("counters")?,
+            gauges: map("gauges")?,
+        })
+    }
+}
+
+/// The live registry: typed metric families keyed by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    config: MetricsConfig,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: Vec<EpochSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry under `config`.
+    pub fn new(config: MetricsConfig) -> Self {
+        MetricsRegistry {
+            config,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Epoch length in samples (always ≥ 1).
+    pub fn epoch_samples(&self) -> u64 {
+        self.config.epoch_samples.max(1)
+    }
+
+    /// Adds `delta` to counter `name` (event-driven counters).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets counter `name` to the cumulative value `v` (counters sampled
+    /// from authoritative state rather than accumulated event by event).
+    pub fn counter_set(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Freezes the current counters and gauges into the next time-series
+    /// snapshot.
+    pub fn snapshot(&mut self, sample_tick: u64, cycle: u64) {
+        self.series.push(EpochSnapshot {
+            epoch: self.series.len() as u64,
+            sample_tick,
+            cycle,
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+        });
+    }
+
+    /// Snapshots taken so far.
+    pub fn epochs(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Copies everything into an owned, `Send` log.
+    pub fn log(&self) -> MetricsLog {
+        MetricsLog {
+            epoch_samples: self.epoch_samples(),
+            series: self.series.clone(),
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// A cheaply-cloneable handle to one [`MetricsRegistry`], shared by the
+/// layers of a single-threaded AOS run (the flight-recorder sink idiom).
+#[derive(Clone, Debug)]
+pub struct MetricsSink {
+    registry: Rc<RefCell<MetricsRegistry>>,
+}
+
+impl MetricsSink {
+    /// Creates a sink over a fresh registry.
+    pub fn new(config: MetricsConfig) -> Self {
+        MetricsSink { registry: Rc::new(RefCell::new(MetricsRegistry::new(config))) }
+    }
+
+    /// Epoch length in samples (always ≥ 1).
+    pub fn epoch_samples(&self) -> u64 {
+        self.registry.borrow().epoch_samples()
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        self.registry.borrow_mut().counter_add(name, delta);
+    }
+
+    /// Sets counter `name` to the cumulative value `v`.
+    pub fn counter_set(&self, name: &str, v: u64) {
+        self.registry.borrow_mut().counter_set(name, v);
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: u64) {
+        self.registry.borrow_mut().gauge_set(name, v);
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        self.registry.borrow_mut().observe(name, v);
+    }
+
+    /// Freezes a time-series snapshot at `(sample_tick, cycle)`.
+    pub fn snapshot(&self, sample_tick: u64, cycle: u64) {
+        self.registry.borrow_mut().snapshot(sample_tick, cycle);
+    }
+
+    /// Copies the registry into an owned, `Send` [`MetricsLog`].
+    pub fn log(&self) -> MetricsLog {
+        self.registry.borrow().log()
+    }
+}
+
+/// The owned end-of-run metrics snapshot a report carries: the full
+/// time series plus the final counters, gauges and histograms. Plain data
+/// (`Send`), deterministic to serialize.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsLog {
+    /// Epoch length in samples the series was recorded under.
+    pub epoch_samples: u64,
+    /// Per-epoch snapshots, in epoch order.
+    pub series: Vec<EpochSnapshot>,
+    /// Final cumulative counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauges.
+    pub gauges: BTreeMap<String, u64>,
+    /// Final histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsLog {
+    /// The per-epoch values of series `name` — a gauge (raw value per
+    /// epoch) or counter (cumulative value per epoch) — or `None` if no
+    /// snapshot carries it.
+    pub fn series_of(&self, name: &str) -> Option<Vec<u64>> {
+        let values: Vec<u64> = self
+            .series
+            .iter()
+            .map(|s| {
+                s.gauges
+                    .get(name)
+                    .or_else(|| s.counters.get(name))
+                    .copied()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let known = self
+            .series
+            .iter()
+            .any(|s| s.gauges.contains_key(name) || s.counters.contains_key(name));
+        known.then_some(values)
+    }
+
+    /// Like [`MetricsLog::series_of`], but differenced — the per-epoch
+    /// *delta* of a cumulative counter (saturating at 0).
+    pub fn deltas_of(&self, name: &str) -> Option<Vec<u64>> {
+        let values = self.series_of(name)?;
+        let mut prev = 0u64;
+        Some(
+            values
+                .into_iter()
+                .map(|v| {
+                    let d = v.saturating_sub(prev);
+                    prev = v;
+                    d
+                })
+                .collect(),
+        )
+    }
+
+    /// Serializes to an `aoci-json` object (the JSON mirror of the JSONL
+    /// export; used by the round-trip tests).
+    pub fn to_value(&self) -> Value {
+        Value::obj([
+            ("epoch_samples".to_string(), Value::from(self.epoch_samples)),
+            (
+                "series".to_string(),
+                Value::Arr(self.series.iter().map(EpochSnapshot::to_value).collect()),
+            ),
+            (
+                "counters".to_string(),
+                Value::Obj(self.counters.iter().map(|(k, &v)| (k.clone(), Value::from(v))).collect()),
+            ),
+            (
+                "gauges".to_string(),
+                Value::Obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Value::from(v))).collect()),
+            ),
+            (
+                "histograms".to_string(),
+                Value::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_value()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`MetricsLog::to_value`]; `None` on shape mismatch.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        let map = |key: &str| -> Option<BTreeMap<String, u64>> {
+            v.get(key)?
+                .as_obj()?
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_u64()?)))
+                .collect()
+        };
+        Some(MetricsLog {
+            epoch_samples: v.get("epoch_samples")?.as_u64()?,
+            series: v
+                .get("series")?
+                .as_arr()?
+                .iter()
+                .map(EpochSnapshot::from_value)
+                .collect::<Option<Vec<_>>>()?,
+            counters: map("counters")?,
+            gauges: map("gauges")?,
+            histograms: v
+                .get("histograms")?
+                .as_obj()?
+                .iter()
+                .map(|(k, h)| Some((k.clone(), Histogram::from_value(h)?)))
+                .collect::<Option<BTreeMap<_, _>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> MetricsLog {
+        let sink = MetricsSink::new(MetricsConfig::default());
+        sink.counter_add("inline_decisions", 3);
+        sink.gauge_set("compile_queue_depth", 2);
+        sink.observe("compile_cost_cycles", 4096);
+        sink.snapshot(8, 120_000);
+        sink.counter_add("inline_decisions", 1);
+        sink.gauge_set("compile_queue_depth", 0);
+        sink.observe("compile_cost_cycles", 900);
+        sink.snapshot(16, 250_000);
+        sink.log()
+    }
+
+    #[test]
+    fn snapshots_freeze_counters_at_their_instant() {
+        let log = populated();
+        assert_eq!(log.series.len(), 2);
+        assert_eq!(log.series[0].counters["inline_decisions"], 3);
+        assert_eq!(log.series[1].counters["inline_decisions"], 4);
+        assert_eq!(log.series[0].gauges["compile_queue_depth"], 2);
+        assert_eq!(log.series[1].gauges["compile_queue_depth"], 0);
+        assert_eq!(log.counters["inline_decisions"], 4);
+        assert_eq!(log.histograms["compile_cost_cycles"].count(), 2);
+        assert_eq!(log.series_of("inline_decisions"), Some(vec![3, 4]));
+        assert_eq!(log.deltas_of("inline_decisions"), Some(vec![3, 1]));
+        assert_eq!(log.series_of("no_such_metric"), None);
+    }
+
+    #[test]
+    fn cloned_sinks_share_one_registry() {
+        let sink = MetricsSink::new(MetricsConfig::default());
+        let other = sink.clone();
+        sink.counter_add("a", 1);
+        other.counter_add("a", 2);
+        assert_eq!(sink.log().counters["a"], 3);
+    }
+
+    #[test]
+    fn log_round_trips_through_json_text() {
+        let log = populated();
+        let text = aoci_json::to_string_pretty(&log.to_value());
+        let parsed = aoci_json::parse(&text).expect("metrics JSON parses");
+        assert_eq!(MetricsLog::from_value(&parsed), Some(log));
+    }
+
+    #[test]
+    fn same_feed_sequence_is_bit_identical() {
+        let render = |l: &MetricsLog| aoci_json::to_string_pretty(&l.to_value());
+        assert_eq!(render(&populated()), render(&populated()));
+    }
+}

@@ -81,6 +81,25 @@ impl Component {
             .expect("component present in COMPONENTS")
     }
 
+    /// A stable `snake_case` identifier for metric names
+    /// (`cycles_<slug>` in the telemetry registry).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Component::Listeners => "listeners",
+            Component::CompilationThread => "compilation_thread",
+            Component::DecayOrganizer => "decay_organizer",
+            Component::AiOrganizer => "ai_organizer",
+            Component::MethodSampleOrganizer => "method_sample_organizer",
+            Component::ControllerThread => "controller_thread",
+            Component::MissingEdgeOrganizer => "missing_edge_organizer",
+            Component::Recovery => "recovery",
+            Component::Osr => "osr",
+            Component::AppBaseline => "app_baseline",
+            Component::AppOptimized => "app_optimized",
+            Component::BaselineCompilation => "baseline_compilation",
+        }
+    }
+
     /// Returns `true` for the components counted as adaptive-optimization-
     /// system overhead in Figure 6.
     pub fn is_aos_overhead(self) -> bool {

@@ -14,7 +14,10 @@ const SEED: u64 = 20_030_323; // CGO 2003 — same fixed seed the oracle suite u
 const ITERS: usize = 12;
 
 fn corpus_bytes(workers: usize) -> String {
-    let out = run_campaign(&CampaignConfig { seed: SEED, iters: ITERS }, &JobPool::new(workers));
+    let out = run_campaign(
+        &CampaignConfig { seed: SEED, iters: ITERS, metrics: false },
+        &JobPool::new(workers),
+    );
     assert!(
         out.findings.is_empty(),
         "fixed-seed campaign must be clean, got {:?}",
@@ -32,7 +35,8 @@ fn fixed_seed_campaign_is_clean_and_worker_count_invariant() {
 
 #[test]
 fn campaign_coverage_reaches_the_decision_space() {
-    let out = run_campaign(&CampaignConfig { seed: SEED, iters: ITERS }, &JobPool::new(4));
+    let out =
+        run_campaign(&CampaignConfig { seed: SEED, iters: ITERS, metrics: false }, &JobPool::new(4));
     assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
 
     let prefixes: BTreeSet<&str> =
@@ -65,8 +69,8 @@ fn campaign_coverage_reaches_the_decision_space() {
 
 #[test]
 fn campaign_outcome_is_reproducible_end_to_end() {
-    let a = run_campaign(&CampaignConfig { seed: 7, iters: 5 }, &JobPool::new(3));
-    let b = run_campaign(&CampaignConfig { seed: 7, iters: 5 }, &JobPool::new(3));
+    let a = run_campaign(&CampaignConfig { seed: 7, iters: 5, metrics: false }, &JobPool::new(3));
+    let b = run_campaign(&CampaignConfig { seed: 7, iters: 5, metrics: false }, &JobPool::new(3));
     assert_eq!(a.features, b.features);
     assert_eq!(a.corpus.len(), b.corpus.len());
     for (x, y) in a.cases.iter().zip(&b.cases) {

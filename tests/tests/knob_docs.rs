@@ -1,0 +1,44 @@
+//! The EXPERIMENTS.md knob table is generated, not written: the block
+//! between the `knob-table:begin/end` markers must be the verbatim
+//! output of `diag --knobs --md` (i.e. [`EnvConfig::knob_markdown`]).
+//! This test regenerates it and fails on any drift — the doc-side half
+//! of the "declared once in `aoci_bench::env`" contract (the CI
+//! `parallel-sweep` job greps the code side).
+
+use aoci_bench::EnvConfig;
+use std::path::Path;
+
+const BEGIN: &str = "<!-- knob-table:begin";
+const END: &str = "<!-- knob-table:end -->";
+
+#[test]
+fn experiments_knob_table_matches_the_registry() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../EXPERIMENTS.md");
+    let doc = std::fs::read_to_string(&path).expect("EXPERIMENTS.md is readable");
+
+    let begin = doc.find(BEGIN).expect("EXPERIMENTS.md has the knob-table:begin marker");
+    let table_start = begin + doc[begin..].find('\n').expect("marker line ends") + 1;
+    let end = doc.find(END).expect("EXPERIMENTS.md has the knob-table:end marker");
+    assert!(table_start < end, "begin marker must precede the end marker");
+    let documented = &doc[table_start..end];
+
+    let generated = EnvConfig::knob_markdown();
+    assert_eq!(
+        documented, generated,
+        "EXPERIMENTS.md knob table drifted from the registry — \
+         regenerate the marker block with `diag --knobs --md`"
+    );
+}
+
+#[test]
+fn every_knob_appears_exactly_once_in_the_generated_table() {
+    let table = EnvConfig::knob_markdown();
+    for row in EnvConfig::knob_rows() {
+        let name = &row[0];
+        assert_eq!(
+            table.matches(&format!("`{name}`")).count(),
+            1,
+            "knob {name} must appear exactly once"
+        );
+    }
+}

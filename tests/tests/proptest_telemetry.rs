@@ -1,0 +1,69 @@
+//! Property-based tests on the telemetry histogram (DESIGN.md §14): the
+//! bucketing function is monotone (so cumulative bucket counts form a
+//! valid CDF — the Prometheus exporter relies on this), and merging is
+//! associative and commutative with observation (so a histogram built
+//! from shards equals the histogram of the concatenation, in any order).
+
+use aoci_telemetry::{bucket_index, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+fn from_observations(vs: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vs {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    /// `a <= b` implies `bucket_index(a) <= bucket_index(b)`, and every
+    /// index stays in range.
+    #[test]
+    fn bucketing_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        prop_assert!(bucket_index(hi) < BUCKETS);
+    }
+
+    /// Merging shards equals observing the concatenation — and the fold
+    /// is insensitive to both association and shard order.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in prop::collection::vec(any::<u64>(), 0..20),
+        ys in prop::collection::vec(any::<u64>(), 0..20),
+        zs in prop::collection::vec(any::<u64>(), 0..20),
+    ) {
+        let (hx, hy, hz) = (from_observations(&xs), from_observations(&ys), from_observations(&zs));
+        let whole = from_observations(&[xs, ys, zs].concat());
+
+        // (x ⊕ y) ⊕ z
+        let mut left = hx.clone();
+        left.merge(&hy);
+        left.merge(&hz);
+        // x ⊕ (y ⊕ z)
+        let mut right_inner = hy.clone();
+        right_inner.merge(&hz);
+        let mut right = hx.clone();
+        right.merge(&right_inner);
+        // z ⊕ y ⊕ x
+        let mut rev = hz;
+        rev.merge(&hy);
+        rev.merge(&hx);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &rev);
+        prop_assert_eq!(&left, &whole);
+    }
+
+    /// The summary statistics always agree with the raw observations.
+    #[test]
+    fn summary_stats_match_observations(vs in prop::collection::vec(0u64..1 << 50, 1..30)) {
+        let h = from_observations(&vs);
+        prop_assert_eq!(h.count(), vs.len() as u64);
+        prop_assert_eq!(h.min(), vs.iter().min().copied());
+        prop_assert_eq!(h.max(), vs.iter().max().copied());
+        prop_assert_eq!(h.sum(), vs.iter().sum::<u64>());
+        let p100 = h.quantile(1.0).expect("non-empty");
+        prop_assert_eq!(p100, h.max().expect("non-empty"), "q=1.0 is the exact max");
+    }
+}
